@@ -1,0 +1,82 @@
+"""Shared harness for the paper-reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper. Compiled
+modules are cached per session (compilation is the expensive part; the
+simulated measurement is cheap and is what pytest-benchmark times).
+
+Every benchmark writes its rendered table to ``benchmarks/results/`` so the
+regenerated rows can be compared against the paper's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple
+
+from repro import SouffleCompiler, SouffleOptions, profile_module
+from repro.baselines import ALL_BASELINES, UnfusedCompiler
+from repro.graph.graph import Graph
+from repro.models import PAPER_MODELS
+from repro.runtime.module import CompiledModule
+from repro.runtime.profiler import ProfileReport
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+MODEL_NAMES = ("bert", "resnext", "lstm", "efficientnet", "swin", "mmoe")
+BASELINE_NAMES = ("xla", "ansor", "tensorrt", "rammer", "apollo", "iree")
+
+_graph_cache: Dict[str, Graph] = {}
+_module_cache: Dict[Tuple[str, str], CompiledModule] = {}
+_report_cache: Dict[Tuple[str, str], ProfileReport] = {}
+
+
+def get_graph(name: str) -> Graph:
+    if name not in _graph_cache:
+        _graph_cache[name] = PAPER_MODELS[name]()
+    return _graph_cache[name]
+
+
+def compile_with(model: str, compiler: str) -> CompiledModule:
+    """Compile (cached) a paper model with one of the compilers.
+
+    ``compiler`` is a baseline name, ``unfused``, or ``souffle-V<k>``.
+    """
+    key = (model, compiler)
+    if key in _module_cache:
+        return _module_cache[key]
+    graph = get_graph(model)
+    if compiler.startswith("souffle"):
+        level = int(compiler.split("V")[1]) if "V" in compiler else 4
+        module = SouffleCompiler(
+            options=SouffleOptions.from_level(level)
+        ).compile(graph)
+    elif compiler == "unfused":
+        module = UnfusedCompiler().compile(graph)
+    else:
+        module = ALL_BASELINES[compiler]().compile(graph)
+    _module_cache[key] = module
+    return module
+
+
+def report_for(model: str, compiler: str) -> ProfileReport:
+    key = (model, compiler)
+    if key not in _report_cache:
+        _report_cache[key] = profile_module(compile_with(model, compiler))
+    return _report_cache[key]
+
+
+def geomean(values) -> float:
+    values = list(values)
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it for the bench log."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n[{name}]\n{text}")

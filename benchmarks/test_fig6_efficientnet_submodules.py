@@ -1,0 +1,88 @@
+"""Fig. 5 / Fig. 6 — EfficientNet sub-module latency breakdown.
+
+The MBConv building block (M0-M9, varying channel/resolution) is compiled
+four ways, matching Fig. 5's versions:
+
+    (a) unfused      — one kernel per TE                 (UnfusedCompiler)
+    (b) fused        — Ansor's producer-consumer fusion  (AnsorCompiler)
+    (c) global-sync  — whole sub-module as one kernel,
+                       no data reuse                     (Souffle V3)
+    (d) data-reuse   — + on-chip tensor reuse            (Souffle V4)
+
+Paper reference (Fig. 6, speedup over unfused, average across M0-M9):
+global-sync achieves 1.31x over unfused and data-reuse lifts it to 1.84x.
+"""
+
+import pytest
+
+from repro import SouffleCompiler, SouffleOptions, profile_module
+from repro.baselines import AnsorCompiler, UnfusedCompiler
+from repro.models import build_mbconv_submodule
+
+from common import geomean, save_table
+
+# (channels, resolution) of representative B0 sub-modules M0-M9.
+SUBMODULES = [
+    (16, 112), (24, 56), (24, 56), (40, 28), (40, 28),
+    (80, 14), (80, 14), (112, 14), (192, 7), (320, 7),
+]
+
+VERSIONS = ("unfused", "fused", "global-sync", "data-reuse")
+
+
+def compile_version(graph, version):
+    if version == "unfused":
+        return UnfusedCompiler().compile(graph)
+    if version == "fused":
+        return AnsorCompiler().compile(graph)
+    level = 3 if version == "global-sync" else 4
+    return SouffleCompiler(options=SouffleOptions.from_level(level)).compile(graph)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for index, (channels, resolution) in enumerate(SUBMODULES):
+        graph = build_mbconv_submodule(channels, resolution, name=f"M{index}")
+        times = {}
+        for version in VERSIONS:
+            module = compile_version(graph, version)
+            times[version] = profile_module(module).total_time_us
+        results[f"M{index}"] = times
+    return results
+
+
+def test_fig6_efficientnet_submodule_breakdown(benchmark, sweep):
+    graph = build_mbconv_submodule(*SUBMODULES[0], name="probe")
+    module = compile_version(graph, "data-reuse")
+    benchmark(module.simulate)
+
+    header = (
+        f"{'module':8s} " + " ".join(f"{v:>12s}" for v in VERSIONS)
+        + "   speedups vs unfused"
+    )
+    lines = [header]
+    speedups = {v: [] for v in VERSIONS}
+    for name, times in sweep.items():
+        base = times["unfused"]
+        cells = " ".join(f"{times[v]:12.2f}" for v in VERSIONS)
+        sp = " ".join(f"{base / times[v]:5.2f}x" for v in VERSIONS)
+        for version in VERSIONS:
+            speedups[version].append(base / times[version])
+        lines.append(f"{name:8s} {cells}   {sp}")
+    lines.append("")
+    lines.append(
+        "average speedups (paper: global-sync 1.31x, data-reuse 1.84x): "
+        + ", ".join(
+            f"{v}={geomean(speedups[v]):.2f}x" for v in VERSIONS
+        )
+    )
+    save_table("fig6_efficientnet_submodules", "\n".join(lines))
+
+    avg = {v: geomean(speedups[v]) for v in VERSIONS}
+    # The paper's ordering: every added mechanism helps on average.
+    assert avg["fused"] > 1.0
+    assert avg["global-sync"] > avg["fused"] * 0.95
+    assert avg["data-reuse"] >= avg["global-sync"]
+    # Data reuse is a clear win over plain fusion (paper: 1.84x vs ~1.3x).
+    assert avg["data-reuse"] > 1.3

@@ -1,0 +1,40 @@
+"""Compare Souffle against the six baseline compilers on one model.
+
+Reproduces one row of the paper's Table 3 / Table 5 for a chosen model:
+
+    python examples/compare_compilers.py            # BERT (default)
+    python examples/compare_compilers.py efficientnet
+    python examples/compare_compilers.py lstm
+"""
+
+import sys
+
+from repro import compile_model, get_model, profile_module
+from repro.baselines import ALL_BASELINES
+
+
+def main(model_name: str = "bert") -> None:
+    print(f"building {model_name} (paper Table 2 configuration)...")
+    graph = get_model(model_name)
+
+    rows = []
+    module = compile_model(graph, level=4)
+    rows.append(("souffle", profile_module(module)))
+    for name, compiler_cls in ALL_BASELINES.items():
+        print(f"compiling with {name}...")
+        rows.append((name, profile_module(compiler_cls().compile(graph))))
+
+    print()
+    print(f"{'system':10s} {'time (ms)':>10s} {'kernels':>8s} "
+          f"{'memory (MB)':>12s} {'speedup':>8s}")
+    souffle_time = rows[0][1].total_time_ms
+    for name, report in sorted(rows, key=lambda r: r[1].total_time_ms):
+        print(
+            f"{name:10s} {report.total_time_ms:10.3f} "
+            f"{report.kernel_calls:8d} {report.transfer_bytes / 1e6:12.2f} "
+            f"{report.total_time_ms / souffle_time:7.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bert")

@@ -1,0 +1,96 @@
+"""Walk the whole Souffle pipeline on a hand-built model, stage by stage.
+
+Shows what each phase of the paper's Fig. 2 workflow produces: the lowered
+TE program, element-wise dependence relations, reuse sets, compute/memory
+characterisation, partitioning, transformed TEs and the merged kernel.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import GraphBuilder, compile_model, lower_graph, profile_module
+from repro.analysis import (
+    Partitioner,
+    characterize_program,
+    find_reuse,
+    te_relations,
+)
+from repro.gpu import a100_40gb
+from repro.te import format_tensor
+from repro.transform import (
+    check_equivalent,
+    horizontal_transform,
+    vertical_transform,
+)
+
+
+def build_model():
+    """A small two-branch MLP with a softmax head — enough structure to
+    exercise every analysis: spatial reuse (two branches reading x),
+    temporal reuse (softmax), memory ops (transpose) and reductions."""
+    b = GraphBuilder("custom")
+    x = b.input((64, 128), name="x")
+    w1, w2 = b.weight((128, 64), name="w1"), b.weight((128, 64), name="w2")
+    left = b.relu(b.matmul(x, w1))
+    right = b.sigmoid(b.matmul(x, w2))
+    merged = b.add(left, right)
+    head = b.matmul(merged, b.weight((64, 32), name="w3"))
+    return b.build([b.softmax(head, axis=-1)])
+
+
+def main() -> None:
+    graph = build_model()
+
+    # ---- 1. TE lowering ----------------------------------------------------
+    program = lower_graph(graph)
+    print(f"1. lowered to {len(program)} tensor expressions:")
+    for node in program:
+        print(f"   {format_tensor(node.tensor)[:100]}")
+
+    # ---- 2. global analysis -------------------------------------------------
+    print("\n2. element-wise dependence (paper Sec. 5.2):")
+    for node in list(program)[:3]:
+        for relation in te_relations(node):
+            print(f"   {relation.to_polyhedral()[:100]}")
+
+    reuse = find_reuse(program)
+    print("\n   spatial reuse:", [o.tensor.name for o in reuse.spatial])
+    print("   temporal reuse:", [o.tensor.name for o in reuse.temporal])
+
+    chars = characterize_program(program)
+    ci = [n.name for n, c in chars.items() if c.is_compute_intensive]
+    print("   compute-intensive TEs:", ci)
+
+    # ---- 3. semantic-preserving transformations ------------------------------
+    transformed, hreport = horizontal_transform(program)
+    transformed, vreport = vertical_transform(transformed)
+    print(f"\n3. transforms: {hreport.num_merged_groups} horizontal merges, "
+          f"{vreport.num_inlined} vertical inlines -> "
+          f"{len(program)} TEs become {len(transformed)}")
+    assert check_equivalent(program, transformed)
+    print("   differential check: PASS")
+
+    # ---- 4. partitioning -----------------------------------------------------
+    partition = Partitioner(a100_40gb()).partition(transformed)
+    print(f"\n4. partitioned into {partition.num_subprograms} subprogram(s):")
+    for sub in partition.subprograms:
+        print(f"   {sub} -> {sub.names}")
+
+    # ---- 5. full compile + profile -------------------------------------------
+    module = compile_model(graph, level=4)
+    report = profile_module(module)
+    print(f"\n5. compiled: {report.kernel_calls} kernel(s), "
+          f"{report.total_time_us:.1f} us, "
+          f"{report.transfer_bytes / 1e3:.1f} KB moved")
+
+    rng = np.random.default_rng(0)
+    feeds = {t.name: rng.standard_normal(t.shape) * 0.1
+             for t in module.program.inputs}
+    (probabilities,) = module.run_by_name(feeds)
+    assert np.allclose(probabilities.sum(axis=-1), 1.0)
+    print("   softmax rows sum to 1: functional execution OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""The LSTM case study of paper Sec. 8.4 (Fig. 7, Table 6).
+
+Rammer exploits wavefront parallelism but reloads every cell's weights at
+each time step; Souffle compiles the whole unrolled LSTM into ONE kernel,
+discovers the temporal reuse of the weights via global analysis, and pins
+them on-chip — cutting global-memory traffic by orders of magnitude.
+
+Run:  python examples/lstm_case_study.py [time_steps] [cells]
+"""
+
+import sys
+
+from repro import SouffleCompiler, profile_module
+from repro.baselines import RammerCompiler
+from repro.graph import lower_graph
+from repro.analysis import find_reuse
+from repro.models import build_lstm
+
+
+def main(time_steps: int = 100, num_cells: int = 10) -> None:
+    print(f"LSTM: {num_cells} cells x {time_steps} steps, hidden 256, FP16")
+    graph = build_lstm(time_steps=time_steps, num_cells=num_cells)
+
+    # --- what the global analysis sees -------------------------------------
+    program = lower_graph(graph)
+    reuse = find_reuse(program)
+    recurrent = [
+        opp for opp in reuse.temporal if opp.tensor.name.endswith("_U")
+    ]
+    print(
+        f"\nglobal analysis: {len(program)} TEs; temporal-reuse tensors "
+        f"include the recurrent weights, e.g. {recurrent[0].tensor.name} "
+        f"consumed by {len(recurrent[0].consumers)} dependent GEMVs"
+    )
+
+    # --- Rammer: wavefront co-scheduling, weights reloaded per wavefront ---
+    print("\ncompiling with Rammer (wavefront co-scheduling)...")
+    rammer = profile_module(RammerCompiler().compile(graph))
+
+    # --- Souffle: one kernel, weights pinned on-chip ------------------------
+    print("compiling with Souffle...")
+    module = SouffleCompiler().compile(graph)
+    souffle = profile_module(module)
+
+    pinned = module.kernels[0].reuse_report
+    weights = [name for name in pinned.pinned if "_W" in name or "_U" in name]
+    print(
+        f"souffle reuse cache pinned {len(weights)} weight tensors "
+        f"on-chip (e.g. {', '.join(weights[:4])} ...)"
+    )
+
+    print(f"\n{'metric':34s} {'rammer':>12s} {'souffle':>12s}")
+    print(f"{'kernel launches':34s} {rammer.kernel_calls:12d} "
+          f"{souffle.kernel_calls:12d}")
+    print(f"{'global memory transfer (MB)':34s} "
+          f"{rammer.transfer_bytes / 1e6:12.2f} "
+          f"{souffle.transfer_bytes / 1e6:12.2f}")
+    print(f"{'execution time (ms)':34s} {rammer.total_time_ms:12.3f} "
+          f"{souffle.total_time_ms:12.3f}")
+    ru, su = rammer.utilization(), souffle.utilization()
+    print(f"{'FMA pipeline utilisation (%)':34s} {ru['fma'] * 100:12.1f} "
+          f"{su['fma'] * 100:12.1f}")
+    print(f"\npaper Table 6: 1911 MB vs 21.1 MB; Souffle is one kernel "
+          f"with {module.kernels[0].spec.grid_syncs} grid syncs")
+
+
+if __name__ == "__main__":
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    cells = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    main(steps, cells)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` installs an egg-link without needing wheel. Metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Global computation-graph analysis (paper Sec. 5)."""
+
+from repro.analysis.characterize import (
+    COMPUTE_INTENSIVE,
+    DEFAULT_THRESHOLD,
+    MEMORY_INTENSIVE,
+    TECharacter,
+    characterize_program,
+    characterize_te,
+    compute_intensive_nodes,
+    memory_intensive_nodes,
+    te_elements_accessed,
+    te_flops,
+    te_footprint_bytes,
+)
+from repro.analysis.dependence import (
+    ONE_RELIES_ON_MANY,
+    ONE_RELIES_ON_ONE,
+    ElementRelation,
+    classify_te,
+    depends_on,
+    independent,
+    program_relations,
+    reachability_masks,
+    te_relations,
+)
+from repro.analysis.liveness import LiveRange, live_ranges, peak_live_bytes
+from repro.analysis.occupancy import (
+    FastPartitioner,
+    OccupancyEstimate,
+    estimate_occupancy,
+)
+from repro.analysis.partition import PartitionResult, Partitioner, Subprogram
+from repro.analysis.reuse import ReuseAnalysis, ReuseOpportunity, find_reuse
+
+__all__ = [
+    "COMPUTE_INTENSIVE",
+    "FastPartitioner",
+    "OccupancyEstimate",
+    "estimate_occupancy",
+    "DEFAULT_THRESHOLD",
+    "ElementRelation",
+    "LiveRange",
+    "MEMORY_INTENSIVE",
+    "ONE_RELIES_ON_MANY",
+    "ONE_RELIES_ON_ONE",
+    "PartitionResult",
+    "Partitioner",
+    "ReuseAnalysis",
+    "ReuseOpportunity",
+    "Subprogram",
+    "TECharacter",
+    "characterize_program",
+    "characterize_te",
+    "classify_te",
+    "compute_intensive_nodes",
+    "depends_on",
+    "find_reuse",
+    "independent",
+    "live_ranges",
+    "memory_intensive_nodes",
+    "peak_live_bytes",
+    "program_relations",
+    "reachability_masks",
+    "te_flops",
+    "te_elements_accessed",
+    "te_footprint_bytes",
+    "te_relations",
+]

@@ -1,0 +1,139 @@
+"""Intra-TE element-wise dependence analysis (paper Sec. 5.2).
+
+Classifies each TE as *one-relies-on-one* (no reduction axis: every output
+element depends on exactly one element per input read) or
+*one-relies-on-many* (a reduction axis: each output element depends on the
+whole reduction domain), and extracts the quasi-affine output->input index
+maps where they exist. Relations render in the paper's polyhedral notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.graph.te_program import TENode, TEProgram
+from repro.te.affine import AffineMap, try_extract_read_map
+from repro.te.expr import Reduce
+from repro.te.tensor import Tensor
+from repro.te.traversal import collect_reads, contains_reduce
+
+ONE_RELIES_ON_ONE = "one-relies-on-one"
+ONE_RELIES_ON_MANY = "one-relies-on-many"
+
+
+def classify_te(tensor: Tensor) -> str:
+    """Dependence category of a compute tensor (Sec. 5.2)."""
+    if tensor.op is None:
+        raise AnalysisError(f"{tensor.name} is a placeholder, not a TE")
+    if contains_reduce(tensor.op.body):
+        return ONE_RELIES_ON_MANY
+    return ONE_RELIES_ON_ONE
+
+
+@dataclass(frozen=True)
+class ElementRelation:
+    """Element-wise dependence of one output tensor on one input tensor.
+
+    For one-relies-on-one reads with a quasi-affine index function, ``affine``
+    holds the output->input :class:`AffineMap` (Eq. 1). For one-relies-on-many
+    TEs, ``reduce_extents`` lists the reduction domain sizes.
+    """
+
+    output: Tensor
+    input: Tensor
+    kind: str
+    affine: Optional[AffineMap] = None
+    reduce_extents: Tuple[int, ...] = ()
+
+    def to_polyhedral(self) -> str:
+        """Render in the paper's notation, e.g.
+        ``{O[i0,i1] -> I[i0,rk] : 0<=rk<64}``."""
+        out_vars = [f"i{d}" for d in range(self.output.ndim)]
+        bounds = " and ".join(
+            f"0<={v}<{e}" for v, e in zip(out_vars, self.output.shape)
+        )
+        if self.kind == ONE_RELIES_ON_MANY:
+            rvars = [f"r{d}" for d in range(len(self.reduce_extents))]
+            rbounds = ", ".join(
+                f"0<={v}<{e}" for v, e in zip(rvars, self.reduce_extents)
+            )
+            return (
+                f"{{{self.output.name}[{','.join(out_vars)}] -> "
+                f"{{{self.input.name}[...], [{rbounds}]}} : {bounds}}}"
+            )
+        if self.affine is not None:
+            from repro.te.expr import Var
+
+            exprs = self.affine.rebuild_indices([Var(v) for v in out_vars])
+            idx = ",".join(repr(e) for e in exprs)
+        else:
+            idx = "non-affine"
+        return (
+            f"{{{self.output.name}[{','.join(out_vars)}] -> "
+            f"{self.input.name}[{idx}] : {bounds}}}"
+        )
+
+
+def te_relations(node: TENode) -> List[ElementRelation]:
+    """All (output, input) element relations for one TE."""
+    tensor = node.tensor
+    assert tensor.op is not None
+    kind = classify_te(tensor)
+    body = tensor.op.body
+    reduce_extents: Tuple[int, ...] = ()
+    if isinstance(body, Reduce):
+        reduce_extents = tuple(ax.extent for ax in body.axes)
+
+    relations: List[ElementRelation] = []
+    seen: set = set()
+    for read in collect_reads(body):
+        key = id(read.tensor)
+        if key in seen:
+            continue
+        seen.add(key)
+        affine = None
+        if kind == ONE_RELIES_ON_ONE:
+            affine = try_extract_read_map(read, tensor.op.axes)
+        relations.append(
+            ElementRelation(
+                output=tensor,
+                input=read.tensor,  # type: ignore[arg-type]
+                kind=kind,
+                affine=affine,
+                reduce_extents=reduce_extents,
+            )
+        )
+    return relations
+
+
+def program_relations(program: TEProgram) -> Dict[TENode, List[ElementRelation]]:
+    """Element relations for every TE in a program."""
+    return {node: te_relations(node) for node in program}
+
+
+def reachability_masks(program: TEProgram) -> Dict[TENode, int]:
+    """Ancestor sets as bitmasks: bit ``i`` set in ``mask[n]`` iff TE ``i`` is
+    a (transitive) producer of ``n``. Computed in one topological sweep; used
+    for the independence tests behind spatial-reuse detection and horizontal
+    transformation."""
+    masks: Dict[TENode, int] = {}
+    for node in program:
+        mask = 0
+        for producer in program.node_producers(node):
+            mask |= masks[producer] | (1 << producer.index)
+        masks[node] = mask
+    return masks
+
+
+def depends_on(
+    masks: Dict[TENode, int], consumer: TENode, producer: TENode
+) -> bool:
+    """Whether ``consumer`` transitively reads ``producer``'s output."""
+    return bool(masks[consumer] >> producer.index & 1)
+
+
+def independent(masks: Dict[TENode, int], a: TENode, b: TENode) -> bool:
+    """No dataflow in either direction between two TEs."""
+    return not depends_on(masks, a, b) and not depends_on(masks, b, a)

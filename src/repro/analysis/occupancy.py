@@ -1,0 +1,156 @@
+"""Closed-form occupancy estimation for TE-program partitioning.
+
+Paper Sec. 9 ("Cost model for TE program partitioning"): "Souffle extracts
+tensor information by compiling the raw TE program. This can be improved by
+building a cost model to estimate occupancy from the TE program."
+
+This module is that improvement: per-TE launch-dimension and
+register/shared-memory estimates derived *directly from TE structure* —
+no schedule search — so the partitioner can place subprogram boundaries in
+O(#TEs). The estimates intentionally mirror the shapes the real scheduler
+produces (tile sizes snap to the same alignment rules), so partitions match
+the search-based ones on the evaluation models; `FastPartitioner` plugs
+them into the same greedy BFS algorithm of Sec. 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.characterize import (
+    COMPUTE_INTENSIVE,
+    TECharacter,
+    characterize_program,
+)
+from repro.analysis.partition import PartitionResult, Subprogram
+from repro.gpu.device import GPUSpec
+from repro.graph.te_program import TENode, TEProgram
+from repro.schedule.ansor import _ceil_div, contraction_dims
+from repro.te.expr import Reduce
+from repro.te.tensor import dtype_bytes
+
+
+@dataclass(frozen=True)
+class OccupancyEstimate:
+    """Predicted resource footprint of one TE's kernel code."""
+
+    grid_blocks: int
+    threads_per_block: int
+    shared_mem_per_block: int
+    regs_per_thread: int
+
+    def blocks_per_wave(self, device: GPUSpec) -> int:
+        return device.max_blocks_per_wave(
+            self.threads_per_block, self.shared_mem_per_block,
+            self.regs_per_thread,
+        )
+
+
+def estimate_occupancy(node: TENode, device: GPUSpec) -> OccupancyEstimate:
+    """Estimate launch dims and occupancy from TE structure alone."""
+    from repro.schedule.roller import construct_rtile
+
+    tensor = node.tensor
+    assert tensor.op is not None
+    dims = contraction_dims(node)
+    bytes_el = dtype_bytes(tensor.dtype)
+
+    if dims is not None and dims.m * max(dims.n, 1) >= 256 and dims.k >= 8:
+        # Contraction: saturation-aware aligned tiles — the same rTile shape
+        # the schedulers converge to, obtained without any search.
+        ti, tj, tk = construct_rtile(device, dims, bytes_el)
+        use_tc = tensor.dtype == "float16"
+        if use_tc:
+            threads = min(max((ti // 16) * (tj // 16), 1) * 32,
+                          device.max_threads_per_block)
+            regs = 96
+        else:
+            threads = max(64, min((ti * tj) // 16, device.max_threads_per_block))
+            regs = 64
+        smem = (ti * tk + tk * tj) * bytes_el * 2
+        blocks = dims.batch * _ceil_div(dims.m, ti) * _ceil_div(max(dims.n, 1), tj)
+        return OccupancyEstimate(blocks, threads, smem, regs)
+
+    if isinstance(tensor.op.body, Reduce):
+        out_elems = tensor.num_elements
+        threads = 256
+        if out_elems >= 128:
+            blocks = _ceil_div(out_elems, threads // device.warp_size)
+        else:
+            reduce_size = 1
+            for ax in tensor.op.body.axes:
+                reduce_size *= ax.extent
+            blocks = max(1, min(_ceil_div(reduce_size, 2048),
+                                2 * device.sm_count))
+        blocks = min(blocks, device.max_blocks_per_wave(threads, 0))
+        return OccupancyEstimate(blocks, threads, threads * bytes_el, 32)
+
+    elems = tensor.num_elements
+    threads = 256
+    blocks = max(1, _ceil_div(elems, threads * 4))
+    blocks = min(blocks, device.max_blocks_per_wave(threads, 0))
+    return OccupancyEstimate(blocks, threads, 0, 24)
+
+
+class FastPartitioner:
+    """Sec. 5.4's greedy BFS partitioning driven by the cost model.
+
+    Produces the same :class:`PartitionResult` shape as
+    :class:`repro.analysis.partition.Partitioner` but with an empty schedule
+    map — the kernel builder schedules TEs lazily afterwards — so the
+    partitioning phase itself never invokes the schedule search.
+    """
+
+    def __init__(self, device: GPUSpec,
+                 max_tes_per_subprogram: int = 50000) -> None:
+        self.device = device
+        self.max_tes_per_subprogram = max_tes_per_subprogram
+        self.estimates: Dict[TENode, OccupancyEstimate] = {}
+
+    def partition(self, program: TEProgram,
+                  characters: Optional[Dict[TENode, TECharacter]] = None
+                  ) -> PartitionResult:
+        chars = characters or characterize_program(program)
+        subprograms = []
+        current = Subprogram(0)
+        current_estimates = []
+
+        for node in program:
+            is_ci = chars[node].kind == COMPUTE_INTENSIVE
+            if is_ci:
+                estimate = estimate_occupancy(node, self.device)
+                self.estimates[node] = estimate
+                if current_estimates and not self._fits(
+                    current_estimates + [estimate]
+                ):
+                    subprograms.append(current)
+                    current = Subprogram(len(subprograms))
+                    current_estimates = []
+            elif len(current.nodes) >= self.max_tes_per_subprogram:
+                subprograms.append(current)
+                current = Subprogram(len(subprograms))
+                current_estimates = []
+            current.nodes.append(node)
+            if is_ci:
+                current.ci_nodes.append(node)
+                current_estimates.append(self.estimates[node])
+                current.sync_feasible = self._fits(current_estimates)
+        if current.nodes:
+            subprograms.append(current)
+        return PartitionResult(subprograms, {}, chars)
+
+    def _fits(self, estimates) -> bool:
+        """Same analytical constraint as the search-based partitioner."""
+        if not estimates:
+            return True
+        max_grid = max(e.grid_blocks for e in estimates)
+        occupancy = sum(e.shared_mem_per_block for e in estimates)
+        if occupancy > self.device.shared_mem_per_sm:
+            return False
+        if max_grid * occupancy >= self.device.total_shared_mem:
+            return False
+        threads = max(e.threads_per_block for e in estimates)
+        regs = max(e.regs_per_thread for e in estimates)
+        wave = self.device.max_blocks_per_wave(threads, occupancy, regs)
+        return max_grid <= wave

@@ -1,0 +1,31 @@
+"""The six baseline compilers of the paper's evaluation (Sec. 7.2)."""
+
+from repro.baselines.base import BaselineCompiler
+from repro.baselines.ansor import AnsorCompiler
+from repro.baselines.apollo import ApolloCompiler
+from repro.baselines.iree import IREECompiler
+from repro.baselines.rammer import RammerCompiler
+from repro.baselines.tensorrt import TensorRTCompiler
+from repro.baselines.unfused import UnfusedCompiler
+from repro.baselines.xla import XLACompiler
+
+ALL_BASELINES = {
+    "xla": XLACompiler,
+    "ansor": AnsorCompiler,
+    "tensorrt": TensorRTCompiler,
+    "rammer": RammerCompiler,
+    "apollo": ApolloCompiler,
+    "iree": IREECompiler,
+}
+
+__all__ = [
+    "ALL_BASELINES",
+    "AnsorCompiler",
+    "ApolloCompiler",
+    "BaselineCompiler",
+    "IREECompiler",
+    "RammerCompiler",
+    "TensorRTCompiler",
+    "UnfusedCompiler",
+    "XLACompiler",
+]

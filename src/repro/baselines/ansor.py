@@ -1,0 +1,27 @@
+"""TVM + Ansor baseline (paper Sec. 7.2).
+
+Ansor auto-schedules each fused subgraph; TVM's fusion is classic
+producer-consumer epilogue fusion: elementwise operators fold into the
+kernel of their (compute-intensive or reduction) producer. This is the
+paper's ablation starting point V0 (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.baselines.base import BaselineCompiler
+from repro.core.grouping import ANSOR_RULES, epilogue_groups
+from repro.graph.te_program import TENode, TEProgram
+
+
+class AnsorCompiler(BaselineCompiler):
+    """TVM's fusion + Ansor's schedule search (our schedule oracle)."""
+
+    name = "ansor"
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        return epilogue_groups(program, chars, ANSOR_RULES)

@@ -1,0 +1,42 @@
+"""Apollo baseline (paper Sec. 7.2, Table 1).
+
+Apollo fuses within sub-graph partitions using loop-fusion rules, but per
+the paper: it "can only merge two reductions with the same tile size",
+"does not support schedules with global synchronization", and its generated
+compute kernels are markedly slower than vendor libraries (Table 1: 61.1us
+of compute-kernel time vs TensorRT's 31.3us on the same subgraph, and more
+global memory traffic: 27.8MB vs 16.5MB).
+
+Modelled as: fusion among memory-bound elementwise neighbours only
+(reductions and contractions each anchor their own kernels), with its own
+codegen's lower compute and bandwidth efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.baselines.base import BaselineCompiler
+from repro.core.grouping import APOLLO_RULES, epilogue_groups
+from repro.graph.te_program import TENode, TEProgram
+from repro.tir.build import BuiltKernel
+
+# Apollo's own polyhedral codegen: no hand-tuned tensor-core pipelines.
+APOLLO_COMPUTE_EFFICIENCY = 0.30
+APOLLO_BANDWIDTH_EFFICIENCY = 0.55
+
+
+class ApolloCompiler(BaselineCompiler):
+    """Partition-based fusion of memory-bound operators."""
+
+    name = "apollo"
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        return epilogue_groups(program, chars, APOLLO_RULES)
+
+    def tune_kernel(self, built: BuiltKernel, nodes: List[TENode]) -> None:
+        built.spec.compute_efficiency = APOLLO_COMPUTE_EFFICIENCY
+        built.spec.bandwidth_efficiency = APOLLO_BANDWIDTH_EFFICIENCY

@@ -1,0 +1,85 @@
+"""Shared skeleton for the six baseline compilers (paper Sec. 7.2).
+
+Every baseline follows the same bottom-up recipe: lower the model to TEs,
+form kernels with its own fusion rules, and schedule each kernel. Subclasses
+customise two hooks:
+
+* :meth:`make_groups` — the fusion strategy (which TEs share a kernel);
+* :meth:`tune_kernel` — codegen-quality adjustments (e.g. TensorRT's
+  hand-optimised GEMMs, IREE's weak direct convolution), applied as
+  per-kernel efficiency overrides on the analytic model.
+
+The efficiency numbers encode the qualitative codegen properties the paper
+reports for each system (Sec. 8.1, Table 1); EXPERIMENTS.md documents them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.characterize import TECharacter, characterize_program
+from repro.core.grouping import epilogue_groups, singleton_groups
+from repro.gpu.device import GPUSpec, a100_40gb
+from repro.graph.graph import Graph
+from repro.graph.lowering import lower_graph
+from repro.graph.te_program import TENode, TEProgram
+from repro.runtime.module import CompiledModule, CompileStats, PhaseTimer
+from repro.schedule.ansor import AnsorScheduler
+from repro.tir.build import BuiltKernel, build_kernel
+
+
+class BaselineCompiler:
+    """Bottom-up compiler skeleton; subclasses define the fusion rules."""
+
+    name = "baseline"
+
+    def __init__(self, device: Optional[GPUSpec] = None) -> None:
+        self.device = device or a100_40gb()
+
+    # ---- hooks ---------------------------------------------------------------
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        """Kernel grouping strategy; default is one kernel per TE."""
+        return singleton_groups(program)
+
+    def tune_kernel(self, built: BuiltKernel, nodes: List[TENode]) -> None:
+        """Per-kernel codegen-quality adjustment; default none."""
+
+    # ---- driver ----------------------------------------------------------------
+
+    def compile(self, model: Union[Graph, TEProgram]) -> CompiledModule:
+        stats = CompileStats()
+        with PhaseTimer(stats, "lowering"):
+            program = lower_graph(model) if isinstance(model, Graph) else model
+        with PhaseTimer(stats, "analysis"):
+            chars = characterize_program(program)
+        scheduler = AnsorScheduler(self.device)
+        with PhaseTimer(stats, "grouping"):
+            groups = self.make_groups(program, chars)
+        kernels: List[BuiltKernel] = []
+        schedules: Dict[TENode, object] = {}
+        with PhaseTimer(stats, "codegen"):
+            for index, group in enumerate(groups):
+                built = build_kernel(
+                    name=f"{program.name}_{self.name}_k{index}",
+                    nodes=group,
+                    program=program,
+                    chars=chars,
+                    schedules=schedules,  # type: ignore[arg-type]
+                    scheduler=scheduler,
+                    device=self.device,
+                    allow_sync=False,
+                )
+                self.tune_kernel(built, group)
+                kernels.append(built)
+        stats.schedule_trials = scheduler.search_trials
+        return CompiledModule(
+            name=program.name,
+            compiler=self.name,
+            program=program,
+            kernels=kernels,
+            device=self.device,
+            stats=stats,
+        )

@@ -1,0 +1,33 @@
+"""Rammer / NNFusion baseline (paper Sec. 7.2, 8.4).
+
+Rammer's contribution is spatio-temporal co-scheduling: independent
+operators (rTasks) at the same dependency level share one kernel and run on
+different blocks — the wavefront execution of Fig. 7(a). Its limits, per
+the paper: "Rammer relies on hand-crafted rules ... can only merge sibling
+operators", "does not perform element-wise data dependence analysis or reuse
+tensor buffers", so weight tensors reload every wavefront.
+
+Modelled as: epilogue fusion, then a wavefront merge of independent groups
+at equal dependency levels into combined kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.baselines.base import BaselineCompiler
+from repro.core.grouping import ANSOR_RULES, epilogue_groups, wavefront_merge
+from repro.graph.te_program import TENode, TEProgram
+
+
+class RammerCompiler(BaselineCompiler):
+    """Holistic rTask co-scheduling of independent operators."""
+
+    name = "rammer"
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        return wavefront_merge(program, groups)

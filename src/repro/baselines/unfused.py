@@ -1,0 +1,21 @@
+"""The unfused reference: one kernel per TE (Fig. 5a)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.baselines.base import BaselineCompiler
+from repro.core.grouping import singleton_groups
+from repro.graph.te_program import TENode, TEProgram
+
+
+class UnfusedCompiler(BaselineCompiler):
+    """Every TE becomes its own kernel launch; no fusion at all."""
+
+    name = "unfused"
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        return singleton_groups(program)

@@ -1,0 +1,40 @@
+"""TensorFlow XLA baseline (paper Sec. 7.2, 8.1).
+
+XLA fuses point-wise and reduction operators on its HLO IR, but maps
+compute-intensive operators (GEMM, conv) to cuBLAS/cuDNN *library calls*:
+"XLA leverages libraries such as cuBLAS ... it faces limitations in fusing
+compute-intensive operators with memory-intensive counterparts" and "XLA's
+fusion heuristic cannot fuse two consecutive reduction operators".
+
+Modelled as: no elementwise fusion into compute-intensive kernels (they are
+opaque library calls, which do run at well-tuned efficiency), ordinary
+fusion among memory-bound operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.baselines.base import BaselineCompiler
+from repro.core.grouping import XLA_RULES, epilogue_groups
+from repro.graph.te_program import TENode, TEProgram
+from repro.tir.build import BuiltKernel
+
+# cuBLAS/cuDNN library kernels: hand-tuned, better than generic codegen.
+LIBRARY_COMPUTE_EFFICIENCY = 0.70
+
+
+class XLACompiler(BaselineCompiler):
+    """Rule-based HLO fusion with library calls for contractions."""
+
+    name = "xla"
+
+    def make_groups(
+        self, program: TEProgram, chars: Dict[TENode, TECharacter]
+    ) -> List[List[TENode]]:
+        return epilogue_groups(program, chars, XLA_RULES)
+
+    def tune_kernel(self, built: BuiltKernel, nodes: List[TENode]) -> None:
+        if built.spec.fp16_flops or built.spec.is_compute_bound_hint:
+            built.spec.compute_efficiency = LIBRARY_COMPUTE_EFFICIENCY

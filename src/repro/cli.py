@@ -1,0 +1,145 @@
+"""Command-line interface: compile, profile and inspect models.
+
+Usage::
+
+    python -m repro compile bert --level 4
+    python -m repro compare mmoe
+    python -m repro kernels lstm --limit 2
+    python -m repro memory bert
+    python -m repro export swin /tmp/swin.json
+    python -m repro compile /tmp/swin.json      # compile an exported graph
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.config import SouffleOptions
+from repro.core.souffle import SouffleCompiler
+from repro.frontends.serialize import load_graph, save_graph
+from repro.graph.graph import Graph
+from repro.graph.lowering import lower_graph
+from repro.models import PAPER_MODELS, get_model
+from repro.runtime.profiler import profile_module
+
+
+def _resolve_model(spec: str) -> Graph:
+    """A model name from the registry, or a path to an exported JSON graph."""
+    if spec in PAPER_MODELS:
+        return get_model(spec)
+    if spec.endswith(".json"):
+        return load_graph(spec)
+    raise SystemExit(
+        f"unknown model {spec!r}; choose one of {sorted(PAPER_MODELS)} or "
+        "pass a .json graph file"
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    graph = _resolve_model(args.model)
+    compiler = SouffleCompiler(
+        options=SouffleOptions.from_level(args.level, validate=args.validate)
+    )
+    module = compiler.compile(graph)
+    report = profile_module(module)
+    print(report.render(top=args.top))
+    print(f"\ncompile phases (s): "
+          + ", ".join(f"{k}={v:.3f}"
+                      for k, v in module.stats.phase_seconds.items()))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import ALL_BASELINES
+
+    graph = _resolve_model(args.model)
+    rows = [("souffle", profile_module(
+        SouffleCompiler(options=SouffleOptions.from_level(args.level))
+        .compile(graph)))]
+    for name, compiler_cls in ALL_BASELINES.items():
+        rows.append((name, profile_module(compiler_cls().compile(graph))))
+    print(f"{'system':10s} {'ms':>10s} {'kernels':>8s} {'MB':>10s}")
+    for name, report in sorted(rows, key=lambda r: r[1].total_time_ms):
+        print(f"{name:10s} {report.total_time_ms:10.3f} "
+              f"{report.kernel_calls:8d} {report.transfer_bytes / 1e6:10.2f}")
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    graph = _resolve_model(args.model)
+    module = SouffleCompiler(
+        options=SouffleOptions.from_level(args.level)
+    ).compile(graph)
+    print(module.render_kernels(limit=args.limit))
+    return 0
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    from repro.runtime.memory_planner import plan_memory
+
+    graph = _resolve_model(args.model)
+    program = lower_graph(graph)
+    plan = plan_memory(program)
+    print(plan.render(top=args.top))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    graph = _resolve_model(args.model)
+    save_graph(graph, args.path)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Souffle (ASPLOS 2024) reproduction — DNN inference "
+                    "compiler over tensor expressions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", help="model name or exported .json graph")
+        p.add_argument("--level", type=int, default=4, choices=range(5),
+                       help="optimisation level V0..V4 (default 4)")
+
+    p = sub.add_parser("compile", help="compile and profile a model")
+    add_common(p)
+    p.add_argument("--validate", action="store_true",
+                   help="differentially check every transformation")
+    p.add_argument("--top", type=int, default=15,
+                   help="profile rows to print")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("compare", help="Souffle vs all six baselines")
+    add_common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("kernels", help="print generated pseudo-CUDA kernels")
+    add_common(p)
+    p.add_argument("--limit", type=int, default=1)
+    p.set_defaults(fn=cmd_kernels)
+
+    p = sub.add_parser("memory", help="plan and print the global workspace")
+    add_common(p)
+    p.add_argument("--top", type=int, default=12)
+    p.set_defaults(fn=cmd_memory)
+
+    p = sub.add_parser("export", help="export a model to the JSON format")
+    add_common(p)
+    p.add_argument("path", help="output .json path")
+    p.set_defaults(fn=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

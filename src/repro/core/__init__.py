@@ -1,0 +1,26 @@
+"""Souffle core: the compiler pipeline and its options."""
+
+from repro.core.config import SouffleOptions
+from repro.core.grouping import (
+    ANSOR_RULES,
+    APOLLO_RULES,
+    XLA_RULES,
+    FusionRules,
+    epilogue_groups,
+    singleton_groups,
+    wavefront_merge,
+)
+from repro.core.souffle import SouffleCompiler, compile_model
+
+__all__ = [
+    "ANSOR_RULES",
+    "APOLLO_RULES",
+    "FusionRules",
+    "SouffleCompiler",
+    "SouffleOptions",
+    "XLA_RULES",
+    "compile_model",
+    "epilogue_groups",
+    "singleton_groups",
+    "wavefront_merge",
+]

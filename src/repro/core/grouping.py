@@ -1,0 +1,220 @@
+"""Kernel-grouping strategies shared by Souffle's non-sync modes and the
+baseline compilers.
+
+Bottom-up compilers decide kernel boundaries by *fusion rules*; this module
+implements the rule families the paper attributes to each system:
+
+* ``singleton``   — one kernel per TE (the unfused reference of Fig. 5a);
+* ``epilogue``    — elementwise TEs fuse into their producer's kernel
+  (TVM/Ansor-style producer-consumer fusion);
+* parameterised variants used by the baselines (e.g. XLA cannot fuse through
+  library GEMM calls; Apollo only merges memory-bound neighbours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.analysis.characterize import TECharacter
+from repro.graph.te_program import TENode, TEProgram
+from repro.schedule.ansor import is_two_phase_reduction
+from repro.te.patterns import is_reduction
+
+CI = "ci"
+MI_ELEM = "mi-elem"
+MI_REDUCE = "mi-reduce"
+
+
+def node_kind(node: TENode, chars: Dict[TENode, TECharacter]) -> str:
+    """Coarse TE category used by grouping rules."""
+    if chars[node].is_compute_intensive:
+        return CI
+    if is_reduction(node.tensor):
+        return MI_REDUCE
+    return MI_ELEM
+
+
+@dataclass(frozen=True)
+class FusionRules:
+    """What a bottom-up compiler's rules allow an elementwise TE to fuse into.
+
+    ``elem_into_ci``: epilogue fusion into a compute-intensive producer
+    (impossible for XLA, which calls cuBLAS for GEMMs).
+    ``elem_into_reduce``: fusion after a row-wise reduction (e.g. softmax's
+    div after its sum).
+    ``elem_into_elem``: chaining elementwise TEs into one kernel.
+    ``fuse_composites``: all TEs lowered from one composite graph operator
+    (softmax, layernorm, ...) share a kernel — the hand-written fused
+    kernels vendor libraries ship (TensorRT's fused softmax/LN).
+    """
+
+    elem_into_ci: bool = True
+    elem_into_reduce: bool = True
+    elem_into_elem: bool = True
+    fuse_composites: bool = False
+    # Prologue fusion: a pure memory operator (reshape/transpose/slice)
+    # whose only consumer is a contraction folds into that consumer's kernel
+    # (TVM inlines injective producers; TensorRT folds transposes into GEMM
+    # operand modes). XLA cannot — its GEMMs are opaque cuBLAS calls.
+    memory_into_consumer: bool = True
+
+
+ANSOR_RULES = FusionRules()
+XLA_RULES = FusionRules(elem_into_ci=False, memory_into_consumer=False)
+APOLLO_RULES = FusionRules(elem_into_ci=False, elem_into_reduce=False,
+                           memory_into_consumer=False)
+TENSORRT_RULES = FusionRules(fuse_composites=True)
+
+
+def singleton_groups(program: TEProgram) -> List[List[TENode]]:
+    """One kernel per TE."""
+    return [[node] for node in program]
+
+
+def epilogue_groups(
+    program: TEProgram,
+    chars: Dict[TENode, TECharacter],
+    rules: FusionRules = ANSOR_RULES,
+) -> List[List[TENode]]:
+    """Producer-consumer epilogue fusion under the given rules.
+
+    Walks the program in order; an elementwise TE joins the group of one of
+    its producers when the rules permit a sync-free attachment, otherwise it
+    starts a new group. Compute-intensive and reduction TEs always anchor a
+    fresh group.
+    """
+    groups: List[List[TENode]] = []
+    group_of: Dict[TENode, int] = {}
+
+    # Prologue fusion: memory ops whose single consumer is compute-intensive
+    # ride along into that consumer's kernel (decided up-front so the main
+    # walk can skip them and pull them in when the consumer anchors).
+    from repro.graph.op import ELEMENTWISE_MEMORY_OPS
+
+    deferred_to: Dict[TENode, TENode] = {}
+    if rules.memory_into_consumer:
+        for node in reversed(program.nodes):  # reverse: chains defer together
+            if node.op_type not in ELEMENTWISE_MEMORY_OPS:
+                continue
+            if program.is_output(node.tensor):
+                continue
+            consumers = program.node_consumers(node)
+            if len(consumers) != 1:
+                continue
+            consumer = consumers[0]
+            if node_kind(consumer, chars) == CI or consumer in deferred_to:
+                deferred_to[node] = consumer
+
+    prologues: Dict[TENode, List[TENode]] = {}
+    for producer, consumer in deferred_to.items():
+        # Follow chains: reshape -> transpose -> GEMM defers both.
+        root = consumer
+        while root in deferred_to:
+            root = deferred_to[root]
+        prologues.setdefault(root, []).append(producer)
+
+    for node in program:
+        if node in deferred_to:
+            continue
+        kind = node_kind(node, chars)
+        target: Optional[int] = None
+        if rules.fuse_composites and not is_two_phase_reduction(node.tensor):
+            # TEs decomposed from one composite operator (same source op)
+            # share its hand-written fused kernel, provided no producer in
+            # the group needs a device-wide sync before this TE — and the TE
+            # itself is not a two-phase reduction (whose consumers would then
+            # need a device-wide sync inside the fused kernel).
+            for producer in program.node_producers(node):
+                if (
+                    producer in group_of
+                    and producer.op_name == node.op_name
+                    and not is_two_phase_reduction(producer.tensor)
+                    and kind != CI
+                ):
+                    candidate = group_of[producer]
+                    target = candidate if target is None else max(target, candidate)
+            if target is not None:
+                latest = max(
+                    group_of[p] for p in program.node_producers(node)
+                )
+                if target < latest:
+                    target = None
+        if target is None and kind == MI_ELEM:
+            producers = program.node_producers(node)
+            latest_producer_group = max(
+                (group_of[p] for p in producers), default=-1
+            )
+            for producer in producers:
+                pkind = node_kind(producer, chars)
+                allowed = (
+                    (pkind == CI and rules.elem_into_ci)
+                    or (
+                        pkind == MI_REDUCE
+                        and rules.elem_into_reduce
+                        # A two-phase (atomic) reduction finishes only after a
+                        # device-wide sync; without grid sync the consumer must
+                        # live in a later kernel.
+                        and not is_two_phase_reduction(producer.tensor)
+                    )
+                    or (pkind == MI_ELEM and rules.elem_into_elem)
+                )
+                if not allowed:
+                    continue
+                candidate = group_of[producer]
+                target = candidate if target is None else max(target, candidate)
+            # Kernels execute in group order: the node may only join a group
+            # no earlier than all of its producers' groups.
+            if target is not None and target < latest_producer_group:
+                target = None
+        if target is None:
+            groups.append([])
+            target = len(groups) - 1
+        for prologue in sorted(prologues.get(node, []), key=lambda n: n.index):
+            groups[target].append(prologue)
+            group_of[prologue] = target
+        groups[target].append(node)
+        group_of[node] = target
+    return groups
+
+
+def wavefront_merge(
+    program: TEProgram,
+    groups: List[List[TENode]],
+    max_groups_per_kernel: int = 10,
+) -> List[List[TENode]]:
+    """Rammer-style inter-operator co-scheduling.
+
+    Independent groups at the same dependency level merge into one kernel
+    (rTask co-scheduling): the LSTM wavefront of Fig. 7(a). Groups at the
+    same level have no dataflow between them, so the merged kernel stays
+    sync-free.
+    """
+    group_index: Dict[TENode, int] = {}
+    for gi, group in enumerate(groups):
+        for node in group:
+            group_index[node] = gi
+
+    level: Dict[int, int] = {}
+    for gi, group in enumerate(groups):
+        lvl = 0
+        for node in group:
+            for producer in program.node_producers(node):
+                pg = group_index[producer]
+                if pg != gi:
+                    lvl = max(lvl, level[pg] + 1)
+        level[gi] = lvl
+
+    by_level: Dict[int, List[int]] = {}
+    for gi in range(len(groups)):
+        by_level.setdefault(level[gi], []).append(gi)
+
+    merged: List[List[TENode]] = []
+    for lvl in sorted(by_level):
+        members = by_level[lvl]
+        for start in range(0, len(members), max_groups_per_kernel):
+            bundle: List[TENode] = []
+            for gi in members[start : start + max_groups_per_kernel]:
+                bundle.extend(groups[gi])
+            merged.append(bundle)
+    return merged

@@ -1,0 +1,144 @@
+"""The Souffle compiler: the paper's primary contribution, end to end.
+
+Pipeline (Fig. 2):
+
+    1. TE lowering                      (repro.graph.lowering)
+    2. global computation-graph analysis (repro.analysis)
+    3. resource-aware partitioning       (repro.analysis.partition)
+    4. semantic-preserving TE transforms (repro.transform)
+    5. joint optimisation + codegen      (repro.tir) -> merged kernels
+
+The implementation runs the TE transformations before partitioning: both
+orders produce the same kernels here because partition boundaries anchor on
+compute-intensive TEs, which the transformations never dissolve; doing the
+transforms first lets partitioning see the cleaned program (fewer TEs, the
+merged horizontal contractions) and keeps each pass whole-program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.characterize import characterize_program
+from repro.analysis.partition import Partitioner
+from repro.core.config import SouffleOptions
+from repro.core.grouping import ANSOR_RULES, epilogue_groups
+from repro.gpu.device import GPUSpec, a100_40gb
+from repro.graph.graph import Graph
+from repro.graph.lowering import lower_graph
+from repro.graph.te_program import TEProgram
+from repro.runtime.module import CompiledModule, CompileStats, PhaseTimer
+from repro.schedule.ansor import AnsorScheduler
+from repro.tir.build import BuiltKernel, build_kernel
+from repro.tir.pipeline import apply_pipeline
+from repro.tir.reuse_cache import apply_reuse, cache_capacity_bytes
+from repro.transform.horizontal import horizontal_transform
+from repro.transform.semantics import assert_equivalent
+from repro.transform.vertical import vertical_transform
+
+
+class SouffleCompiler:
+    """Top-down DNN inference compiler over tensor expressions."""
+
+    name = "souffle"
+
+    def __init__(
+        self,
+        device: Optional[GPUSpec] = None,
+        options: Optional[SouffleOptions] = None,
+        scheduler_factory=AnsorScheduler,
+    ) -> None:
+        self.device = device or a100_40gb()
+        self.options = options or SouffleOptions()
+        # The schedule oracle is pluggable (paper Sec. 8.5: "can be reduced
+        # by using faster optimizer like Roller, which is orthogonal").
+        self.scheduler_factory = scheduler_factory
+
+    def compile(self, model: Union[Graph, TEProgram]) -> CompiledModule:
+        """Compile a model graph (or pre-lowered TE program) to kernels."""
+        stats = CompileStats()
+        options = self.options
+
+        with PhaseTimer(stats, "lowering"):
+            program = lower_graph(model) if isinstance(model, Graph) else model
+        original = program
+
+        # ---- semantic-preserving TE transformations (Sec. 6) ----------------
+        if options.horizontal:
+            with PhaseTimer(stats, "horizontal_transform"):
+                program, _ = horizontal_transform(program)
+            if options.validate:
+                assert_equivalent(original, program)
+        if options.vertical:
+            with PhaseTimer(stats, "vertical_transform"):
+                program, _ = vertical_transform(program)
+            if options.validate:
+                assert_equivalent(original, program)
+
+        # ---- global analysis (Sec. 5) ----------------------------------------
+        with PhaseTimer(stats, "analysis"):
+            chars = characterize_program(program)
+
+        scheduler = self.scheduler_factory(self.device)
+
+        # ---- partitioning / grouping -------------------------------------------
+        with PhaseTimer(stats, "partitioning"):
+            if options.global_sync:
+                partitioner = Partitioner(self.device, scheduler)
+                partition = partitioner.partition(program, chars)
+                groups = [sp.nodes for sp in partition.subprograms]
+                schedules = dict(partition.schedules)
+            else:
+                groups = epilogue_groups(program, chars, ANSOR_RULES)
+                schedules = {}
+
+        # ---- kernel construction (Sec. 6.4) ------------------------------------
+        kernels: List[BuiltKernel] = []
+        with PhaseTimer(stats, "codegen"):
+            for index, group in enumerate(groups):
+                kernels.append(
+                    build_kernel(
+                        name=f"{program.name}_sp{index}",
+                        nodes=group,
+                        program=program,
+                        chars=chars,
+                        schedules=schedules,
+                        scheduler=scheduler,
+                        device=self.device,
+                        allow_sync=options.global_sync,
+                    )
+                )
+
+        # ---- subprogram-level optimisation (Sec. 6.5) -----------------------------
+        if options.subprogram_opt:
+            with PhaseTimer(stats, "subprogram_opt"):
+                capacity = cache_capacity_bytes(
+                    self.device.total_shared_mem, self.device.total_registers
+                )
+                for built, group in zip(kernels, groups):
+                    built.reuse_report = apply_reuse(built.accesses, capacity)
+                    built.refresh_traffic()
+                    apply_pipeline(built, group, chars)
+
+        stats.schedule_trials = scheduler.search_trials
+        return CompiledModule(
+            name=program.name,
+            compiler=f"{self.name}-{options.level_name}",
+            program=program,
+            kernels=kernels,
+            device=self.device,
+            stats=stats,
+        )
+
+
+def compile_model(
+    model: Union[Graph, TEProgram],
+    device: Optional[GPUSpec] = None,
+    level: int = 4,
+    validate: bool = False,
+) -> CompiledModule:
+    """One-call convenience API: compile at optimisation level V0..V4."""
+    compiler = SouffleCompiler(
+        device=device, options=SouffleOptions.from_level(level, validate)
+    )
+    return compiler.compile(model)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch compiler failures without swallowing unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TEError(ReproError):
+    """Malformed tensor expression (bad shape, index arity, dtype, ...)."""
+
+
+class LoweringError(ReproError):
+    """An operator could not be lowered to tensor expressions."""
+
+
+class AnalysisError(ReproError):
+    """Global analysis failed (cyclic graph, unknown tensor, ...)."""
+
+
+class TransformError(ReproError):
+    """A TE transformation was requested on TEs it does not apply to."""
+
+
+class ScheduleError(ReproError):
+    """Schedule construction or auto-scheduling failed."""
+
+
+class ResourceError(ScheduleError):
+    """A schedule exceeds device resources (shared memory, registers, grid)."""
+
+
+class CodegenError(ReproError):
+    """TensorIR construction or kernel merging failed."""
+
+
+class ExecutionError(ReproError):
+    """Functional execution of a compiled module failed."""
+
+
+class UnsupportedOperatorError(LoweringError):
+    """Operator has no TE lowering (paper Sec. 6.7: e.g. TopK, Conditional)."""

@@ -1,0 +1,19 @@
+"""Model frontends: graph interchange for external model producers."""
+
+from repro.frontends.serialize import (
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads,
+    save_graph,
+)
+
+__all__ = [
+    "dumps",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "loads",
+    "save_graph",
+]

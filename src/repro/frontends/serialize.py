@@ -1,0 +1,142 @@
+"""Model (de)serialisation: a portable ONNX-like JSON graph format.
+
+The paper's Souffle "is compatible with TensorFlow and ONNX models"; the
+frontend's job is only to deliver an operator graph. This module provides
+that interchange point for this reproduction: any :class:`repro.graph.Graph`
+round-trips through a self-contained JSON document, so models can be
+exported, versioned, inspected or produced by external converters.
+
+Format (version 1):
+
+.. code-block:: json
+
+    {
+      "format": "repro-graph",
+      "version": 1,
+      "name": "bert",
+      "nodes": [
+        {"name": "x", "op": "input", "shape": [128, 768],
+         "dtype": "float16", "inputs": [], "attrs": {}},
+        ...
+      ],
+      "outputs": ["l11_ln2"]
+    }
+
+Attribute values are restricted to JSON-representable scalars and (nested)
+lists; tuples are normalised to lists on save and restored to tuples on
+load (operator attrs like ``perm`` and ``pad_width`` are tuples in-memory).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.errors import LoweringError
+from repro.graph.graph import Graph
+from repro.graph.op import OpNode
+
+FORMAT_NAME = "repro-graph"
+FORMAT_VERSION = 1
+
+
+def _attr_to_json(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_attr_to_json(v) for v in value]
+    if isinstance(value, list):
+        return [_attr_to_json(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise LoweringError(
+        f"attribute value {value!r} of type {type(value).__name__} is not "
+        "serialisable"
+    )
+
+
+def _attr_from_json(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_attr_from_json(v) for v in value)
+    return value
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Serialise a graph to a JSON-compatible dictionary."""
+    nodes: List[Dict[str, Any]] = []
+    for node in graph.nodes:
+        nodes.append(
+            {
+                "name": node.name,
+                "op": node.op_type,
+                "shape": list(node.shape),
+                "dtype": node.dtype,
+                "inputs": [parent.name for parent in node.inputs],
+                "attrs": {k: _attr_to_json(v) for k, v in node.attrs.items()},
+            }
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": nodes,
+        "outputs": [node.name for node in graph.outputs],
+    }
+
+
+def graph_from_dict(document: Dict[str, Any]) -> Graph:
+    """Reconstruct a graph from its dictionary form."""
+    if document.get("format") != FORMAT_NAME:
+        raise LoweringError(
+            f"not a {FORMAT_NAME} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise LoweringError(
+            f"unsupported {FORMAT_NAME} version {document.get('version')!r}"
+        )
+
+    by_name: Dict[str, OpNode] = {}
+    for spec in document["nodes"]:
+        name = spec["name"]
+        if name in by_name:
+            raise LoweringError(f"duplicate node name {name!r}")
+        try:
+            inputs = [by_name[parent] for parent in spec["inputs"]]
+        except KeyError as missing:
+            raise LoweringError(
+                f"node {name!r} references unknown input {missing}"
+            ) from None
+        by_name[name] = OpNode(
+            op_type=spec["op"],
+            inputs=inputs,
+            shape=tuple(spec["shape"]),
+            dtype=spec.get("dtype", "float32"),
+            attrs={k: _attr_from_json(v) for k, v in spec.get("attrs", {}).items()},
+            name=name,
+        )
+
+    try:
+        outputs = [by_name[name] for name in document["outputs"]]
+    except KeyError as missing:
+        raise LoweringError(f"unknown output node {missing}") from None
+    return Graph(outputs, name=document.get("name", "model"))
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=1)
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def dumps(graph: Graph) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph))
+
+
+def loads(text: str) -> Graph:
+    """Deserialise a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,15 @@
+"""GPU substrate: device models, kernel descriptors, analytic simulator."""
+
+from repro.gpu.device import GPUSpec, a100_40gb, v100_16gb
+from repro.gpu.kernel import KernelMetrics, KernelSpec
+from repro.gpu.simulator import GPUSimulator, ModuleMetrics
+
+__all__ = [
+    "GPUSimulator",
+    "GPUSpec",
+    "KernelMetrics",
+    "KernelSpec",
+    "ModuleMetrics",
+    "a100_40gb",
+    "v100_16gb",
+]

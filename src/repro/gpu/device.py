@@ -1,0 +1,113 @@
+"""GPU device models.
+
+An analytic description of the target accelerator: enough detail for the
+roofline cost model, occupancy/resource checks and the max-blocks-per-wave
+constraint that drives Souffle's TE-program partitioning (Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static hardware parameters of one GPU."""
+
+    name: str
+    sm_count: int
+    shared_mem_per_sm: int          # bytes
+    registers_per_sm: int           # 32-bit registers
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    warp_size: int
+    fp32_tflops: float              # peak FMA throughput
+    fp16_tensor_tflops: float       # peak tensor-core throughput
+    mem_bandwidth_gbs: float        # global memory bandwidth
+    l2_cache_bytes: int
+    kernel_launch_us: float         # paper Sec. 8.3: ~2 us on A100
+    grid_sync_us: float             # lightweight CUDA grid sync
+    atomic_throughput_gbs: float    # atomicAdd bandwidth for global reduction
+
+    @property
+    def total_shared_mem(self) -> int:
+        """Device-wide shared memory: the ``C`` of the partitioning model."""
+        return self.sm_count * self.shared_mem_per_sm
+
+    @property
+    def total_registers(self) -> int:
+        return self.sm_count * self.registers_per_sm
+
+    def blocks_per_sm(self, threads_per_block: int, shared_mem_per_block: int,
+                      regs_per_thread: int = 32) -> int:
+        """How many blocks of the given footprint fit on one SM."""
+        limit = self.max_blocks_per_sm
+        if threads_per_block > 0:
+            limit = min(limit, self.max_threads_per_sm // threads_per_block)
+        if shared_mem_per_block > 0:
+            limit = min(limit, self.shared_mem_per_sm // shared_mem_per_block)
+        regs_per_block = regs_per_thread * threads_per_block
+        if regs_per_block > 0:
+            limit = min(limit, self.registers_per_sm // regs_per_block)
+        return max(limit, 0)
+
+    def max_blocks_per_wave(self, threads_per_block: int,
+                            shared_mem_per_block: int,
+                            regs_per_thread: int = 32) -> int:
+        """Maximum co-resident blocks — the grid-sync feasibility bound."""
+        return self.sm_count * self.blocks_per_sm(
+            threads_per_block, shared_mem_per_block, regs_per_thread
+        )
+
+    def peak_flops(self, use_tensor_core: bool) -> float:
+        """Peak arithmetic throughput in FLOP/s."""
+        tflops = self.fp16_tensor_tflops if use_tensor_core else self.fp32_tflops
+        return tflops * 1e12
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        """Global memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+
+def a100_40gb() -> GPUSpec:
+    """The paper's evaluation platform (Sec. 7.1): NVIDIA A100-40GB."""
+    return GPUSpec(
+        name="NVIDIA A100-40GB",
+        sm_count=108,
+        shared_mem_per_sm=164 * 1024,
+        registers_per_sm=65536,
+        max_threads_per_sm=2048,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=32,
+        warp_size=32,
+        fp32_tflops=19.5,
+        fp16_tensor_tflops=312.0,
+        mem_bandwidth_gbs=1555.0,
+        l2_cache_bytes=40 * 1024 * 1024,
+        kernel_launch_us=2.0,
+        grid_sync_us=0.35,
+        atomic_throughput_gbs=200.0,
+    )
+
+
+def v100_16gb() -> GPUSpec:
+    """A secondary device model, useful for portability tests."""
+    return GPUSpec(
+        name="NVIDIA V100-16GB",
+        sm_count=80,
+        shared_mem_per_sm=96 * 1024,
+        registers_per_sm=65536,
+        max_threads_per_sm=2048,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=32,
+        warp_size=32,
+        fp32_tflops=15.7,
+        fp16_tensor_tflops=125.0,
+        mem_bandwidth_gbs=900.0,
+        l2_cache_bytes=6 * 1024 * 1024,
+        kernel_launch_us=2.5,
+        grid_sync_us=0.5,
+        atomic_throughput_gbs=120.0,
+    )

@@ -1,0 +1,169 @@
+"""Analytic GPU performance simulator.
+
+A roofline-style model with launch and synchronisation overheads:
+
+    t_kernel = launch + busy(t_compute, t_memory) + syncs * t_sync
+
+``busy`` models the memory/compute overlap the hardware achieves. Kernels
+that Souffle's instruction-level optimisation has pipelined
+(``KernelSpec.pipelined``) overlap nearly perfectly (Sec. 6.5's
+LDGSTS/HMMA dual issue); others achieve partial overlap.
+
+Compute throughput degrades when a kernel cannot fill the device (few
+blocks), which is what makes horizontal fusion profitable, and memory
+throughput degrades for tiny transfers (latency-bound), which is what makes
+kernel fusion of small elementwise ops profitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.gpu.device import GPUSpec
+from repro.gpu.kernel import KernelMetrics, KernelSpec
+
+# Fraction of min(t_mem, t_comp) hidden by hardware overlap in an ordinary
+# kernel vs one scheduled for software pipelining.
+DEFAULT_OVERLAP = 0.55
+PIPELINED_OVERLAP = 0.92
+
+# Achievable fractions of peak (no real kernel hits 100%).
+COMPUTE_EFFICIENCY = 0.60
+BANDWIDTH_EFFICIENCY = 0.82
+
+# A memory transaction cannot beat this latency floor no matter how small
+# (DRAM round-trip); it is what makes many tiny kernels slow.
+MIN_MEMORY_TIME_US = 1.2
+
+
+@dataclass
+class ModuleMetrics:
+    """Aggregated counters for a whole compiled module."""
+
+    kernels: List[KernelMetrics] = field(default_factory=list)
+
+    @property
+    def total_time_us(self) -> float:
+        return sum(k.time_us for k in self.kernels)
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_time_us / 1e3
+
+    @property
+    def kernel_calls(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def load_bytes(self) -> float:
+        return sum(k.kernel.load_bytes + k.kernel.atomic_bytes for k in self.kernels)
+
+    @property
+    def store_bytes(self) -> float:
+        return sum(k.kernel.store_bytes + k.kernel.atomic_bytes for k in self.kernels)
+
+    @property
+    def transfer_bytes(self) -> float:
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def launch_overhead_us(self) -> float:
+        return sum(k.launch_overhead_us for k in self.kernels)
+
+    def mean_utilization(self) -> dict:
+        """Time-weighted pipeline utilisation (Table 6 counters)."""
+        total = max(self.total_time_us, 1e-9)
+        lsu = sum(k.lsu_utilization * k.time_us for k in self.kernels) / total
+        fma = sum(k.fma_utilization * k.time_us for k in self.kernels) / total
+        return {"lsu": lsu, "fma": fma}
+
+
+class GPUSimulator:
+    """Evaluates :class:`KernelSpec` sequences against a :class:`GPUSpec`."""
+
+    def __init__(self, device: GPUSpec) -> None:
+        self.device = device
+
+    # ---- single kernel ----------------------------------------------------
+
+    def run_kernel(self, kernel: KernelSpec) -> KernelMetrics:
+        device = self.device
+
+        blocks_per_sm = device.blocks_per_sm(
+            kernel.threads_per_block,
+            kernel.shared_mem_per_block,
+            kernel.regs_per_thread,
+        )
+        max_wave = max(blocks_per_sm * device.sm_count, 1)
+        wave_util = min(kernel.grid_blocks / max_wave, 1.0)
+        occupancy = min(
+            blocks_per_sm * kernel.threads_per_block / device.max_threads_per_sm,
+            1.0,
+        )
+
+        # Device fill factor: a grid smaller than one SM per block leaves
+        # compute units idle and scales throughput down linearly.
+        fill = min(kernel.grid_blocks / device.sm_count, 1.0)
+
+        compute_eff = (
+            kernel.compute_efficiency
+            if kernel.compute_efficiency is not None
+            else COMPUTE_EFFICIENCY
+        )
+        bandwidth_eff = (
+            kernel.bandwidth_efficiency
+            if kernel.bandwidth_efficiency is not None
+            else BANDWIDTH_EFFICIENCY
+        )
+        compute_time_us = 0.0
+        if kernel.fp16_flops:
+            peak = device.peak_flops(use_tensor_core=True) * compute_eff
+            compute_time_us += kernel.fp16_flops / (peak * max(fill, 1e-3)) * 1e6
+        if kernel.fp32_flops:
+            peak = device.peak_flops(use_tensor_core=False) * compute_eff
+            compute_time_us += kernel.fp32_flops / (peak * max(fill, 1e-3)) * 1e6
+
+        bandwidth = device.bandwidth_bytes * bandwidth_eff
+        stream_bytes = kernel.load_bytes + kernel.store_bytes
+        memory_time_us = stream_bytes / bandwidth * 1e6
+        if kernel.atomic_bytes:
+            memory_time_us += (
+                kernel.atomic_bytes / (device.atomic_throughput_gbs * 1e9) * 1e6
+            )
+        if stream_bytes or kernel.atomic_bytes:
+            memory_time_us = max(memory_time_us, MIN_MEMORY_TIME_US)
+
+        overlap = PIPELINED_OVERLAP if kernel.pipelined else DEFAULT_OVERLAP
+        short, long_ = sorted((compute_time_us, memory_time_us))
+        busy_us = long_ + (1.0 - overlap) * short
+
+        sync_overhead_us = kernel.grid_syncs * device.grid_sync_us
+        launch_us = device.kernel_launch_us
+        time_us = launch_us + busy_us + sync_overhead_us
+
+        denominator = max(busy_us, 1e-9)
+        lsu_util = min(memory_time_us / denominator, 1.0)
+        fma_util = min(compute_time_us / denominator, 1.0)
+
+        return KernelMetrics(
+            kernel=kernel,
+            time_us=time_us,
+            compute_time_us=compute_time_us,
+            memory_time_us=memory_time_us,
+            launch_overhead_us=launch_us,
+            sync_overhead_us=sync_overhead_us,
+            occupancy=occupancy,
+            wave_utilization=wave_util,
+            lsu_utilization=lsu_util,
+            fma_utilization=fma_util,
+        )
+
+    # ---- whole module -------------------------------------------------------
+
+    def run_module(self, kernels: Sequence[KernelSpec]) -> ModuleMetrics:
+        """Simulate a module: kernels execute back-to-back in order."""
+        metrics = ModuleMetrics()
+        for kernel in kernels:
+            metrics.kernels.append(self.run_kernel(kernel))
+        return metrics

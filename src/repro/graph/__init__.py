@@ -1,0 +1,27 @@
+"""Computation graphs and lowering to tensor expressions."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.lowering import LoweringContext, lower_graph
+from repro.graph.op import (
+    COMPUTE_OPS,
+    ELEMENTWISE_ARITH_OPS,
+    ELEMENTWISE_MEMORY_OPS,
+    REDUCTION_OPS,
+    OpNode,
+)
+from repro.graph.te_program import TENode, TEProgram
+
+__all__ = [
+    "COMPUTE_OPS",
+    "ELEMENTWISE_ARITH_OPS",
+    "ELEMENTWISE_MEMORY_OPS",
+    "Graph",
+    "GraphBuilder",
+    "LoweringContext",
+    "OpNode",
+    "REDUCTION_OPS",
+    "TENode",
+    "TEProgram",
+    "lower_graph",
+]

@@ -1,0 +1,293 @@
+"""Fluent builder for computation graphs.
+
+The six evaluation models (`repro.models`) are written against this API:
+
+    b = GraphBuilder("bert")
+    x = b.input((128, 768), name="x")
+    w = b.weight((768, 768))
+    y = b.relu(b.matmul(x, w))
+    graph = b.build([y])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import LoweringError
+from repro.graph import shapes as S
+from repro.graph.graph import Graph
+from repro.graph.op import OpNode
+
+Shape = Tuple[int, ...]
+
+
+class GraphBuilder:
+    """Accumulates operator nodes and assembles a :class:`Graph`."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._nodes: List[OpNode] = []
+
+    # ---- sources -------------------------------------------------------
+
+    def _add(self, node: OpNode) -> OpNode:
+        self._nodes.append(node)
+        return node
+
+    def input(self, shape: Sequence[int], dtype: str = "float32",
+              name: str = "") -> OpNode:
+        """A model input tensor."""
+        return self._add(OpNode("input", [], tuple(shape), dtype, name=name))
+
+    def weight(self, shape: Sequence[int], dtype: str = "float32",
+               name: str = "") -> OpNode:
+        """A trained parameter tensor."""
+        return self._add(OpNode("weight", [], tuple(shape), dtype, name=name))
+
+    # ---- compute-intensive ops ------------------------------------------
+
+    def matmul(self, a: OpNode, b: OpNode, out_dtype: Optional[str] = None,
+               name: str = "") -> OpNode:
+        """2-D GEMM. Uses FP16 tensor cores when both operands are float16."""
+        shape = S.matmul_shape(a.shape, b.shape)
+        dtype = out_dtype or a.dtype
+        return self._add(OpNode("matmul", [a, b], shape, dtype, name=name))
+
+    def batch_matmul(self, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        """Batched 3-D matmul (batch, m, k) x (batch, k, n)."""
+        shape = S.batch_matmul_shape(a.shape, b.shape)
+        return self._add(OpNode("batch_matmul", [a, b], shape, a.dtype, name=name))
+
+    def gemv(self, matrix: OpNode, vector: OpNode, name: str = "") -> OpNode:
+        """Matrix-vector product (m, k) x (k,) -> (m,). LSTM's workhorse."""
+        if len(matrix.shape) != 2 or len(vector.shape) != 1:
+            raise LoweringError(
+                f"gemv expects (m,k) x (k,), got {matrix.shape} x {vector.shape}"
+            )
+        if matrix.shape[1] != vector.shape[0]:
+            raise LoweringError(
+                f"gemv inner dims differ: {matrix.shape} vs {vector.shape}"
+            )
+        return self._add(
+            OpNode("gemv", [matrix, vector], (matrix.shape[0],), matrix.dtype,
+                   name=name)
+        )
+
+    def dense(self, x: OpNode, w: OpNode, bias: Optional[OpNode] = None,
+              name: str = "") -> OpNode:
+        """``x @ w (+ bias)`` with ``w`` of shape (in, out)."""
+        y = self.matmul(x, w, name=name)
+        if bias is not None:
+            y = self.bias_add(y, bias)
+        return y
+
+    def conv2d(self, x: OpNode, w: OpNode, stride: int = 1, padding: int = 0,
+               groups: int = 1, name: str = "") -> OpNode:
+        """NCHW convolution (direct algorithm, as in the paper Sec. 6.7)."""
+        shape = S.conv2d_shape(x.shape, w.shape, stride, padding, groups)
+        return self._add(
+            OpNode("conv2d", [x, w], shape, x.dtype,
+                   {"stride": stride, "padding": padding, "groups": groups},
+                   name=name)
+        )
+
+    def depthwise_conv2d(self, x: OpNode, w: OpNode, stride: int = 1,
+                         padding: int = 0, name: str = "") -> OpNode:
+        """NCHW depthwise convolution with (C, 1, KH, KW) weight."""
+        shape = S.depthwise_conv2d_shape(x.shape, w.shape, stride, padding)
+        return self._add(
+            OpNode("depthwise_conv2d", [x, w], shape, x.dtype,
+                   {"stride": stride, "padding": padding}, name=name)
+        )
+
+    # ---- element-wise arithmetic ----------------------------------------
+
+    def _binary(self, op: str, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        shape = S.broadcast_shapes(a.shape, b.shape)
+        return self._add(OpNode(op, [a, b], shape, a.dtype, name=name))
+
+    def add(self, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        return self._binary("add", a, b, name)
+
+    def sub(self, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        return self._binary("sub", a, b, name)
+
+    def mul(self, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        return self._binary("mul", a, b, name)
+
+    def div(self, a: OpNode, b: OpNode, name: str = "") -> OpNode:
+        return self._binary("div", a, b, name)
+
+    def bias_add(self, x: OpNode, bias: OpNode, name: str = "") -> OpNode:
+        """Add a bias vector along the last dimension."""
+        if bias.shape != (x.shape[-1],):
+            raise LoweringError(
+                f"bias shape {bias.shape} does not match last dim of {x.shape}"
+            )
+        return self._add(OpNode("bias_add", [x, bias], x.shape, x.dtype, name=name))
+
+    def _unary(self, op: str, x: OpNode, name: str = "",
+               attrs: Optional[Dict[str, Any]] = None) -> OpNode:
+        return self._add(OpNode(op, [x], x.shape, x.dtype, attrs or {}, name=name))
+
+    def exp(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("exp", x, name)
+
+    def sqrt(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("sqrt", x, name)
+
+    def rsqrt(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("rsqrt", x, name)
+
+    def erf(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("erf", x, name)
+
+    def tanh(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("tanh", x, name)
+
+    def sigmoid(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("sigmoid", x, name)
+
+    def relu(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("relu", x, name)
+
+    def relu6(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("relu6", x, name)
+
+    def gelu(self, x: OpNode, name: str = "") -> OpNode:
+        return self._unary("gelu", x, name)
+
+    def swish(self, x: OpNode, name: str = "") -> OpNode:
+        """x * sigmoid(x) — EfficientNet's activation."""
+        return self._unary("swish", x, name)
+
+    def scale(self, x: OpNode, factor: float, name: str = "") -> OpNode:
+        """Multiply by a compile-time scalar (e.g. 1/sqrt(d_k))."""
+        return self._unary("scale", x, name, {"factor": float(factor)})
+
+    def clip(self, x: OpNode, lo: float, hi: float, name: str = "") -> OpNode:
+        return self._unary("clip", x, name, {"lo": float(lo), "hi": float(hi)})
+
+    # ---- element-wise memory ops ----------------------------------------
+
+    def reshape(self, x: OpNode, new_shape: Sequence[int], name: str = "") -> OpNode:
+        shape = S.reshape_shape(x.shape, new_shape)
+        if shape == x.shape:
+            return x
+        return self._add(
+            OpNode("reshape", [x], shape, x.dtype, {"shape": shape}, name=name)
+        )
+
+    def transpose(self, x: OpNode, perm: Sequence[int], name: str = "") -> OpNode:
+        shape = S.transpose_shape(x.shape, perm)
+        return self._add(
+            OpNode("transpose", [x], shape, x.dtype, {"perm": tuple(perm)},
+                   name=name)
+        )
+
+    def slice(self, x: OpNode, begins: Sequence[int], ends: Sequence[int],
+              strides: Optional[Sequence[int]] = None, name: str = "") -> OpNode:
+        shape = S.slice_shape(x.shape, begins, ends, strides)
+        return self._add(
+            OpNode("slice", [x], shape, x.dtype,
+                   {"begins": tuple(begins), "ends": tuple(ends),
+                    "strides": tuple(strides) if strides else (1,) * len(x.shape)},
+                   name=name)
+        )
+
+    def concat(self, xs: Sequence[OpNode], axis: int, name: str = "") -> OpNode:
+        shape = S.concat_shape([x.shape for x in xs], axis)
+        axis = axis + len(shape) if axis < 0 else axis
+        return self._add(
+            OpNode("concat", list(xs), shape, xs[0].dtype, {"axis": axis},
+                   name=name)
+        )
+
+    def pad(self, x: OpNode, pad_width: Sequence[Tuple[int, int]],
+            name: str = "") -> OpNode:
+        """Zero padding; ``pad_width`` is per-dimension (before, after)."""
+        if len(pad_width) != len(x.shape):
+            raise LoweringError("pad_width must cover every dimension")
+        shape = tuple(
+            extent + before + after
+            for extent, (before, after) in zip(x.shape, pad_width)
+        )
+        return self._add(
+            OpNode("pad", [x], shape, x.dtype,
+                   {"pad_width": tuple(tuple(p) for p in pad_width)}, name=name)
+        )
+
+    # ---- reductions & composites -----------------------------------------
+
+    def reduce_sum(self, x: OpNode, axes: Sequence[int], keepdims: bool = False,
+                   name: str = "") -> OpNode:
+        shape = S.reduce_shape(x.shape, axes, keepdims)
+        return self._add(
+            OpNode("reduce_sum", [x], shape, x.dtype,
+                   {"axes": tuple(axes), "keepdims": keepdims}, name=name)
+        )
+
+    def reduce_mean(self, x: OpNode, axes: Sequence[int], keepdims: bool = False,
+                    name: str = "") -> OpNode:
+        shape = S.reduce_shape(x.shape, axes, keepdims)
+        return self._add(
+            OpNode("reduce_mean", [x], shape, x.dtype,
+                   {"axes": tuple(axes), "keepdims": keepdims}, name=name)
+        )
+
+    def reduce_max(self, x: OpNode, axes: Sequence[int], keepdims: bool = False,
+                   name: str = "") -> OpNode:
+        shape = S.reduce_shape(x.shape, axes, keepdims)
+        return self._add(
+            OpNode("reduce_max", [x], shape, x.dtype,
+                   {"axes": tuple(axes), "keepdims": keepdims}, name=name)
+        )
+
+    def softmax(self, x: OpNode, axis: int = -1, name: str = "") -> OpNode:
+        """Numerically-stable softmax; lowers to reduce+elementwise TEs."""
+        axis = axis + len(x.shape) if axis < 0 else axis
+        return self._add(
+            OpNode("softmax", [x], x.shape, x.dtype, {"axis": axis}, name=name)
+        )
+
+    def layernorm(self, x: OpNode, gamma: OpNode, beta: OpNode,
+                  eps: float = 1e-5, name: str = "") -> OpNode:
+        """Layer normalisation over the last dimension."""
+        if gamma.shape != (x.shape[-1],) or beta.shape != (x.shape[-1],):
+            raise LoweringError("layernorm gamma/beta must match last dim")
+        return self._add(
+            OpNode("layernorm", [x, gamma, beta], x.shape, x.dtype,
+                   {"eps": eps}, name=name)
+        )
+
+    def avg_pool2d(self, x: OpNode, kernel: int, stride: int, padding: int = 0,
+                   name: str = "") -> OpNode:
+        shape = S.pool2d_shape(x.shape, kernel, stride, padding)
+        return self._add(
+            OpNode("avg_pool2d", [x], shape, x.dtype,
+                   {"kernel": kernel, "stride": stride, "padding": padding},
+                   name=name)
+        )
+
+    def max_pool2d(self, x: OpNode, kernel: int, stride: int, padding: int = 0,
+                   name: str = "") -> OpNode:
+        shape = S.pool2d_shape(x.shape, kernel, stride, padding)
+        return self._add(
+            OpNode("max_pool2d", [x], shape, x.dtype,
+                   {"kernel": kernel, "stride": stride, "padding": padding},
+                   name=name)
+        )
+
+    def global_avg_pool(self, x: OpNode, name: str = "") -> OpNode:
+        """NCHW global average pooling -> (N, C)."""
+        if len(x.shape) != 4:
+            raise LoweringError("global_avg_pool expects NCHW input")
+        return self._add(
+            OpNode("global_avg_pool", [x], x.shape[:2], x.dtype, name=name)
+        )
+
+    # ---- assembly ---------------------------------------------------------
+
+    def build(self, outputs: Sequence[OpNode]) -> Graph:
+        """Finalize the graph with the given output nodes."""
+        return Graph(outputs, name=self.name)

@@ -1,0 +1,91 @@
+"""The model computation graph: a DAG of operator nodes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Sequence, Set
+
+from repro.errors import AnalysisError
+from repro.graph.op import OpNode
+
+
+class Graph:
+    """A computation graph with designated inputs, weights and outputs."""
+
+    def __init__(
+        self,
+        outputs: Sequence[OpNode],
+        name: str = "model",
+    ) -> None:
+        if not outputs:
+            raise AnalysisError("graph must have at least one output")
+        self.name = name
+        self.outputs: List[OpNode] = list(outputs)
+        self.nodes: List[OpNode] = self._topological_order()
+        self.inputs: List[OpNode] = [
+            n for n in self.nodes if n.op_type == "input"
+        ]
+        self.weights: List[OpNode] = [
+            n for n in self.nodes if n.op_type == "weight"
+        ]
+
+    def _topological_order(self) -> List[OpNode]:
+        """All reachable nodes, inputs before consumers."""
+        order: List[OpNode] = []
+        state: Dict[OpNode, int] = {}  # 1 = visiting, 2 = done
+
+        for root in self.outputs:
+            stack: List[tuple] = [(root, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    state[node] = 2
+                    order.append(node)
+                    continue
+                status = state.get(node, 0)
+                if status == 2:
+                    continue
+                if status == 1:
+                    raise AnalysisError(f"cycle through operator {node.name}")
+                state[node] = 1
+                stack.append((node, True))
+                for parent in reversed(node.inputs):
+                    if state.get(parent, 0) == 0:
+                        stack.append((parent, False))
+                    elif state.get(parent) == 1:
+                        raise AnalysisError(f"cycle through operator {parent.name}")
+        return order
+
+    @property
+    def operators(self) -> List[OpNode]:
+        """Non-source nodes (the actual computation)."""
+        return [n for n in self.nodes if not n.is_source]
+
+    def consumers(self, node: OpNode) -> List[OpNode]:
+        """Nodes that read ``node``'s output."""
+        if not hasattr(self, "_consumer_map"):
+            consumer_map: Dict[OpNode, List[OpNode]] = {n: [] for n in self.nodes}
+            for n in self.nodes:
+                for parent in n.inputs:
+                    consumer_map[parent].append(n)
+            self._consumer_map = consumer_map
+        return self._consumer_map[node]
+
+    def op_counts(self) -> Dict[str, int]:
+        """Histogram of operator types (useful in tests and reports)."""
+        counts: Dict[str, int] = {}
+        for node in self.operators:
+            counts[node.op_type] = counts.get(node.op_type, 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[OpNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Graph {self.name}: {len(self.operators)} ops, "
+            f"{len(self.inputs)} inputs, {len(self.weights)} weights>"
+        )

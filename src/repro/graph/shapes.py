@@ -1,0 +1,175 @@
+"""Shape inference for graph operators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import LoweringError
+
+Shape = Tuple[int, ...]
+
+
+def broadcast_shapes(a: Shape, b: Shape) -> Shape:
+    """Numpy-style broadcast of two shapes."""
+    result: List[int] = []
+    for da, db in zip(reversed((1,) * max(0, len(b) - len(a)) + tuple(a)),
+                      reversed((1,) * max(0, len(a) - len(b)) + tuple(b))):
+        if da == db or da == 1 or db == 1:
+            result.append(max(da, db))
+        else:
+            raise LoweringError(f"cannot broadcast shapes {a} and {b}")
+    return tuple(reversed(result))
+
+
+def matmul_shape(a: Shape, b: Shape) -> Shape:
+    """Shape of ``a @ b`` for 2-D operands."""
+    if len(a) != 2 or len(b) != 2:
+        raise LoweringError(f"matmul expects 2-D operands, got {a} and {b}")
+    if a[1] != b[0]:
+        raise LoweringError(f"matmul inner dims differ: {a} vs {b}")
+    return (a[0], b[1])
+
+
+def batch_matmul_shape(a: Shape, b: Shape) -> Shape:
+    """Shape of a batched matmul over 3-D operands (batch, m, k)x(batch, k, n)."""
+    if len(a) != 3 or len(b) != 3:
+        raise LoweringError(f"batch_matmul expects 3-D operands, got {a} and {b}")
+    if a[0] != b[0]:
+        raise LoweringError(f"batch dims differ: {a} vs {b}")
+    if a[2] != b[1]:
+        raise LoweringError(f"batch_matmul inner dims differ: {a} vs {b}")
+    return (a[0], a[1], b[2])
+
+
+def conv2d_shape(
+    x: Shape, w: Shape, stride: int, padding: int, groups: int = 1
+) -> Shape:
+    """NCHW conv2d output shape; weight is (F, C/groups, KH, KW)."""
+    if len(x) != 4 or len(w) != 4:
+        raise LoweringError(f"conv2d expects 4-D tensors, got {x} and {w}")
+    n, c, h, width = x
+    f, c_per_group, kh, kw = w
+    if c % groups or f % groups:
+        raise LoweringError(f"channels {c}/{f} not divisible by groups {groups}")
+    if c // groups != c_per_group:
+        raise LoweringError(
+            f"weight expects {c_per_group} in-channels per group, input has "
+            f"{c // groups}"
+        )
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (width + 2 * padding - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise LoweringError(f"conv2d output collapses: {x} conv {w}")
+    return (n, f, oh, ow)
+
+
+def depthwise_conv2d_shape(x: Shape, w: Shape, stride: int, padding: int) -> Shape:
+    """NCHW depthwise conv output shape; weight is (C, 1, KH, KW)."""
+    if len(x) != 4 or len(w) != 4 or w[1] != 1:
+        raise LoweringError(f"depthwise conv expects (C,1,KH,KW) weight, got {w}")
+    if x[1] != w[0]:
+        raise LoweringError(f"channel mismatch: input {x}, weight {w}")
+    n, c, h, width = x
+    _, _, kh, kw = w
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (width + 2 * padding - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise LoweringError(f"depthwise conv output collapses: {x} conv {w}")
+    return (n, c, oh, ow)
+
+
+def pool2d_shape(x: Shape, kernel: int, stride: int, padding: int) -> Shape:
+    """NCHW pooling output shape."""
+    if len(x) != 4:
+        raise LoweringError(f"pool2d expects 4-D input, got {x}")
+    n, c, h, w = x
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise LoweringError(f"pool output collapses for input {x}")
+    return (n, c, oh, ow)
+
+
+def reshape_shape(x: Shape, new_shape: Sequence[int]) -> Shape:
+    """Validate element-count-preserving reshape (one -1 allowed)."""
+    new = list(new_shape)
+    total = 1
+    for extent in x:
+        total *= extent
+    if new.count(-1) > 1:
+        raise LoweringError("reshape allows at most one -1 dimension")
+    if -1 in new:
+        known = 1
+        for extent in new:
+            if extent != -1:
+                known *= extent
+        if known == 0 or total % known:
+            raise LoweringError(f"cannot infer -1 in reshape {x} -> {new_shape}")
+        new[new.index(-1)] = total // known
+    prod = 1
+    for extent in new:
+        prod *= extent
+    if prod != total:
+        raise LoweringError(f"reshape {x} -> {tuple(new)} changes element count")
+    return tuple(new)
+
+
+def transpose_shape(x: Shape, perm: Sequence[int]) -> Shape:
+    """Shape after permuting axes by ``perm``."""
+    if sorted(perm) != list(range(len(x))):
+        raise LoweringError(f"bad permutation {perm} for rank-{len(x)} tensor")
+    return tuple(x[p] for p in perm)
+
+
+def slice_shape(
+    x: Shape, begins: Sequence[int], ends: Sequence[int], strides: Optional[Sequence[int]] = None
+) -> Shape:
+    """Shape of a strided slice."""
+    if len(begins) != len(x) or len(ends) != len(x):
+        raise LoweringError("slice begins/ends must cover every dimension")
+    strides = list(strides) if strides is not None else [1] * len(x)
+    out: List[int] = []
+    for extent, b, e, s in zip(x, begins, ends, strides):
+        if s <= 0:
+            raise LoweringError("slice strides must be positive")
+        if not (0 <= b < e <= extent):
+            raise LoweringError(f"slice [{b}:{e}] out of range for extent {extent}")
+        out.append((e - b + s - 1) // s)
+    return tuple(out)
+
+
+def concat_shape(shapes: Sequence[Shape], axis: int) -> Shape:
+    """Shape of concatenation along ``axis``."""
+    if not shapes:
+        raise LoweringError("concat of zero tensors")
+    rank = len(shapes[0])
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        raise LoweringError(f"concat axis {axis} out of range for rank {rank}")
+    for shape in shapes[1:]:
+        if len(shape) != rank:
+            raise LoweringError("concat inputs must have equal rank")
+        for d in range(rank):
+            if d != axis and shape[d] != shapes[0][d]:
+                raise LoweringError(
+                    f"concat inputs disagree on dim {d}: {shapes}"
+                )
+    out = list(shapes[0])
+    out[axis] = sum(shape[axis] for shape in shapes)
+    return tuple(out)
+
+
+def reduce_shape(x: Shape, axes: Sequence[int], keepdims: bool) -> Shape:
+    """Shape after reducing over ``axes``."""
+    rank = len(x)
+    norm = sorted(a + rank if a < 0 else a for a in axes)
+    for a in norm:
+        if not 0 <= a < rank:
+            raise LoweringError(f"reduce axis {a} out of range for rank {rank}")
+    if len(set(norm)) != len(norm):
+        raise LoweringError(f"duplicate reduce axes {axes}")
+    if keepdims:
+        return tuple(1 if d in norm else extent for d, extent in enumerate(x))
+    out = tuple(extent for d, extent in enumerate(x) if d not in norm)
+    return out if out else (1,)

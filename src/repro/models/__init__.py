@@ -1,0 +1,75 @@
+"""The six evaluation models of paper Table 2, plus test-size variants."""
+
+from typing import Callable, Dict
+
+from repro.graph.graph import Graph
+from repro.models.bert import (
+    build_bert,
+    build_bert_attention_subgraph,
+    build_bert_tiny,
+)
+from repro.models.efficientnet import (
+    B0_STAGES,
+    MBConvConfig,
+    build_efficientnet,
+    build_efficientnet_tiny,
+    build_mbconv_submodule,
+)
+from repro.models.lstm import build_lstm, build_lstm_tiny
+from repro.models.mmoe import build_mmoe, build_mmoe_tiny
+from repro.models.resnext import build_resnext, build_resnext_tiny
+from repro.models.swin import build_swin, build_swin_tiny_test
+
+# Paper-scale builders (Table 2 configurations).
+PAPER_MODELS: Dict[str, Callable[[], Graph]] = {
+    "bert": build_bert,
+    "resnext": build_resnext,
+    "lstm": build_lstm,
+    "efficientnet": build_efficientnet,
+    "swin": build_swin,
+    "mmoe": build_mmoe,
+}
+
+# Miniatures small enough for functional (numpy) execution in tests.
+TINY_MODELS: Dict[str, Callable[[], Graph]] = {
+    "bert": build_bert_tiny,
+    "resnext": build_resnext_tiny,
+    "lstm": build_lstm_tiny,
+    "efficientnet": build_efficientnet_tiny,
+    "swin": build_swin_tiny_test,
+    "mmoe": build_mmoe_tiny,
+}
+
+
+def get_model(name: str, scale: str = "paper") -> Graph:
+    """Build an evaluation model by name at ``paper`` or ``tiny`` scale."""
+    registry = PAPER_MODELS if scale == "paper" else TINY_MODELS
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(PAPER_MODELS)}"
+        ) from None
+
+
+__all__ = [
+    "B0_STAGES",
+    "MBConvConfig",
+    "PAPER_MODELS",
+    "TINY_MODELS",
+    "build_bert",
+    "build_bert_attention_subgraph",
+    "build_bert_tiny",
+    "build_efficientnet",
+    "build_efficientnet_tiny",
+    "build_lstm",
+    "build_lstm_tiny",
+    "build_mbconv_submodule",
+    "build_mmoe",
+    "build_mmoe_tiny",
+    "build_resnext",
+    "build_resnext_tiny",
+    "build_swin",
+    "build_swin_tiny_test",
+    "get_model",
+]

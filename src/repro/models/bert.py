@@ -1,0 +1,51 @@
+"""BERT-base (paper Table 2: base version, 12 layers, from TensorRT demo).
+
+Sequence length 128, hidden 768, 12 heads, FFN 3072, batch 1, FP16 GEMMs.
+The embedding lookup is out of scope (not a tensor expression workload);
+the model takes the embedded sequence as input, as DNN compilers do when
+benchmarking encoder latency.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import GEMM_DTYPE, transformer_layer
+
+
+def build_bert(
+    layers: int = 12,
+    seq_len: int = 128,
+    hidden: int = 768,
+    heads: int = 12,
+    intermediate: int = 3072,
+    name: str = "bert",
+) -> Graph:
+    """The full BERT-base encoder stack."""
+    builder = GraphBuilder(name)
+    x = builder.input((seq_len, hidden), dtype=GEMM_DTYPE, name="embeddings")
+    for layer in range(layers):
+        x = transformer_layer(
+            builder, x, hidden, heads, intermediate, name=f"l{layer}"
+        )
+    return builder.build([x])
+
+
+def build_bert_tiny() -> Graph:
+    """A functionally-testable miniature (2 layers, seq 8, hidden 32)."""
+    return build_bert(layers=2, seq_len=8, hidden=32, heads=2,
+                      intermediate=64, name="bert_tiny")
+
+
+def build_bert_attention_subgraph(
+    seq_len: int = 128, hidden: int = 768, heads: int = 12,
+    name: str = "bert_attention",
+) -> Graph:
+    """The motivating subgraph of Fig. 1 / Table 1: one attention block."""
+    from repro.models.common import layernorm, multi_head_attention
+
+    builder = GraphBuilder(name)
+    x = builder.input((seq_len, hidden), dtype=GEMM_DTYPE, name="x")
+    attn = multi_head_attention(builder, x, hidden, heads, name="attn")
+    out = layernorm(builder, builder.add(x, attn), name="ln")
+    return builder.build([out])

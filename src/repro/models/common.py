@@ -1,0 +1,185 @@
+"""Shared building blocks for the evaluation models (paper Table 2).
+
+All models follow the paper's precision recipe (Sec. 7.1): FP32 everywhere
+except GEMM/batched-GEMM, which run in FP16 on tensor cores; batch size 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.op import OpNode
+
+GEMM_DTYPE = "float16"
+
+
+def dense_fp16(
+    builder: GraphBuilder,
+    x: OpNode,
+    in_features: int,
+    out_features: int,
+    bias: bool = True,
+    name: str = "",
+) -> OpNode:
+    """FP16 GEMM layer ``x @ W (+ b)`` with a fresh weight."""
+    w = builder.weight((in_features, out_features), dtype=x.dtype,
+                       name=f"{name}_w" if name else "")
+    y = builder.matmul(x, w, name=name)
+    if bias:
+        b = builder.weight((out_features,), dtype=x.dtype,
+                           name=f"{name}_b" if name else "")
+        y = builder.bias_add(y, b)
+    return y
+
+
+def conv_bn_act(
+    builder: GraphBuilder,
+    x: OpNode,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: Optional[int] = None,
+    groups: int = 1,
+    activation: Optional[str] = "relu",
+    depthwise: bool = False,
+    name: str = "",
+) -> OpNode:
+    """Conv + folded batch-norm (per-channel scale & shift) + activation.
+
+    Inference-time BN folds to an affine per-channel transform; we keep the
+    scale/shift explicit (two elementwise TEs) so the fusion passes have the
+    memory-bound operators the paper's models actually contain.
+    """
+    in_channels = x.shape[1]
+    if padding is None:
+        padding = kernel // 2
+    if depthwise:
+        w = builder.weight((in_channels, 1, kernel, kernel),
+                           name=f"{name}_w" if name else "")
+        y = builder.depthwise_conv2d(x, w, stride=stride, padding=padding,
+                                     name=name)
+    else:
+        w = builder.weight(
+            (out_channels, in_channels // groups, kernel, kernel),
+            name=f"{name}_w" if name else "",
+        )
+        y = builder.conv2d(x, w, stride=stride, padding=padding, groups=groups,
+                           name=name)
+    channels = y.shape[1]
+    gamma = builder.weight((channels, 1, 1), name=f"{name}_bn_g" if name else "")
+    beta = builder.weight((channels, 1, 1), name=f"{name}_bn_b" if name else "")
+    y = builder.add(builder.mul(y, gamma), beta)
+    if activation == "relu":
+        y = builder.relu(y)
+    elif activation == "swish":
+        y = builder.swish(y)
+    elif activation == "relu6":
+        y = builder.relu6(y)
+    elif activation is not None:
+        raise ValueError(f"unknown activation {activation!r}")
+    return y
+
+
+def squeeze_excite(
+    builder: GraphBuilder, x: OpNode, reduced: int, name: str = ""
+) -> OpNode:
+    """Squeeze-and-excitation block (EfficientNet): GAP -> FC -> swish ->
+    FC -> sigmoid -> channel-wise scale."""
+    channels = x.shape[1]
+    pooled = builder.global_avg_pool(x, name=f"{name}_gap" if name else "")
+    w1 = builder.weight((channels, reduced), name=f"{name}_se_w1" if name else "")
+    z = builder.matmul(pooled, w1)
+    z = builder.swish(z)
+    w2 = builder.weight((reduced, channels), name=f"{name}_se_w2" if name else "")
+    z = builder.matmul(z, w2)
+    z = builder.sigmoid(z)
+    gate = builder.reshape(z, (1, channels, 1, 1))
+    return builder.mul(x, gate)
+
+
+def multi_head_attention(
+    builder: GraphBuilder,
+    x: OpNode,
+    hidden: int,
+    heads: int,
+    name: str = "",
+) -> OpNode:
+    """Standard transformer MHA over a (seq, hidden) FP16 input."""
+    seq = x.shape[0]
+    head_dim = hidden // heads
+
+    q = dense_fp16(builder, x, hidden, hidden, name=f"{name}_q")
+    k = dense_fp16(builder, x, hidden, hidden, name=f"{name}_k")
+    v = dense_fp16(builder, x, hidden, hidden, name=f"{name}_v")
+
+    def to_heads(t: OpNode) -> OpNode:
+        t = builder.reshape(t, (seq, heads, head_dim))
+        return builder.transpose(t, (1, 0, 2))  # (heads, seq, head_dim)
+
+    qh, kh, vh = to_heads(q), to_heads(k), to_heads(v)
+    kt = builder.transpose(kh, (0, 2, 1))  # (heads, head_dim, seq)
+    scores = builder.batch_matmul(qh, kt)  # (heads, seq, seq)
+    scores = builder.scale(scores, head_dim ** -0.5)
+    probs = builder.softmax(scores, axis=-1)
+    ctx = builder.batch_matmul(probs, vh)  # (heads, seq, head_dim)
+    ctx = builder.transpose(ctx, (1, 0, 2))
+    ctx = builder.reshape(ctx, (seq, hidden))
+    return dense_fp16(builder, ctx, hidden, hidden, name=f"{name}_o")
+
+
+def transformer_ffn(
+    builder: GraphBuilder, x: OpNode, hidden: int, intermediate: int,
+    name: str = "",
+) -> OpNode:
+    """GELU feed-forward block."""
+    y = dense_fp16(builder, x, hidden, intermediate, name=f"{name}_fc1")
+    y = builder.gelu(y)
+    return dense_fp16(builder, y, intermediate, hidden, name=f"{name}_fc2")
+
+
+def layernorm(
+    builder: GraphBuilder, x: OpNode, name: str = ""
+) -> OpNode:
+    """Layer normalisation with fresh gamma/beta over the last dim."""
+    hidden = x.shape[-1]
+    gamma = builder.weight((hidden,), dtype=x.dtype,
+                           name=f"{name}_ln_g" if name else "")
+    beta = builder.weight((hidden,), dtype=x.dtype,
+                          name=f"{name}_ln_b" if name else "")
+    return builder.layernorm(x, gamma, beta, name=name)
+
+
+def transformer_layer(
+    builder: GraphBuilder,
+    x: OpNode,
+    hidden: int,
+    heads: int,
+    intermediate: int,
+    name: str = "",
+) -> OpNode:
+    """Post-norm transformer encoder layer (BERT style)."""
+    attn = multi_head_attention(builder, x, hidden, heads, name=f"{name}_attn")
+    x = layernorm(builder, builder.add(x, attn), name=f"{name}_ln1")
+    ffn = transformer_ffn(builder, x, hidden, intermediate, name=f"{name}_ffn")
+    return layernorm(builder, builder.add(x, ffn), name=f"{name}_ln2")
+
+
+def mlp(
+    builder: GraphBuilder,
+    x: OpNode,
+    dims: Sequence[int],
+    activation: str = "relu",
+    name: str = "",
+) -> OpNode:
+    """A chain of FP16 dense layers with activations between them."""
+    y = x
+    for index, out_features in enumerate(dims):
+        y = dense_fp16(builder, y, y.shape[-1], out_features,
+                       name=f"{name}_fc{index}" if name else "")
+        if index < len(dims) - 1:
+            if activation == "relu":
+                y = builder.relu(y)
+            elif activation == "tanh":
+                y = builder.tanh(y)
+    return y

@@ -1,0 +1,132 @@
+"""EfficientNet-B0 (paper Table 2: "Efficient-b0 from the source publication").
+
+Stem conv, seven MBConv stages (expand -> depthwise -> squeeze-excite ->
+project), head conv, pooling and classifier; swish activations throughout.
+ImageNet input 1x3x224x224.
+
+The MBConv block is the paper's Fig. 5/6 micro-benchmark: its expand/
+project 1x1 convs with depthwise+SE in between is "the pattern ... common
+in many DNN models [that] existing DNN frameworks fail to optimize
+optimally" (Sec. 8.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.op import OpNode
+from repro.models.common import conv_bn_act, squeeze_excite
+
+
+@dataclass(frozen=True)
+class MBConvConfig:
+    """One EfficientNet stage."""
+
+    expand_ratio: int
+    channels: int
+    repeats: int
+    stride: int
+    kernel: int
+
+
+# EfficientNet-B0 architecture (Tan & Le, 2019, Table 1).
+B0_STAGES: Tuple[MBConvConfig, ...] = (
+    MBConvConfig(1, 16, 1, 1, 3),
+    MBConvConfig(6, 24, 2, 2, 3),
+    MBConvConfig(6, 40, 2, 2, 5),
+    MBConvConfig(6, 80, 3, 2, 3),
+    MBConvConfig(6, 112, 3, 1, 5),
+    MBConvConfig(6, 192, 4, 2, 5),
+    MBConvConfig(6, 320, 1, 1, 3),
+)
+
+
+def mbconv_block(
+    builder: GraphBuilder,
+    x: OpNode,
+    out_channels: int,
+    expand_ratio: int,
+    kernel: int,
+    stride: int,
+    name: str,
+    use_se: bool = True,
+) -> OpNode:
+    """Mobile inverted bottleneck with squeeze-excitation."""
+    in_channels = x.shape[1]
+    expanded = in_channels * expand_ratio
+    y = x
+    if expand_ratio != 1:
+        y = conv_bn_act(builder, y, expanded, kernel=1, activation="swish",
+                        name=f"{name}_expand")
+    y = conv_bn_act(builder, y, expanded, kernel=kernel, stride=stride,
+                    activation="swish", depthwise=True, name=f"{name}_dw")
+    if use_se:
+        y = squeeze_excite(builder, y, max(1, in_channels // 4),
+                           name=f"{name}_se")
+    y = conv_bn_act(builder, y, out_channels, kernel=1, activation=None,
+                    name=f"{name}_project")
+    if stride == 1 and in_channels == out_channels:
+        y = builder.add(y, x, name=f"{name}_residual")
+    return y
+
+
+def build_efficientnet(
+    stages: Tuple[MBConvConfig, ...] = B0_STAGES,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    name: str = "efficientnet_b0",
+) -> Graph:
+    """EfficientNet-B0 for ImageNet classification."""
+    builder = GraphBuilder(name)
+    x = builder.input((1, 3, image_size, image_size), name="image")
+    x = conv_bn_act(builder, x, 32, kernel=3, stride=2, activation="swish",
+                    name="stem")
+    for stage_index, config in enumerate(stages):
+        for repeat in range(config.repeats):
+            stride = config.stride if repeat == 0 else 1
+            x = mbconv_block(
+                builder, x, config.channels, config.expand_ratio,
+                config.kernel, stride, name=f"s{stage_index}r{repeat}",
+            )
+    x = conv_bn_act(builder, x, 1280, kernel=1, activation="swish", name="head")
+    x = builder.global_avg_pool(x, name="gap")
+    w = builder.weight((1280, num_classes), name="fc_w")
+    logits = builder.matmul(x, w, name="logits")
+    return builder.build([logits])
+
+
+def build_efficientnet_tiny() -> Graph:
+    """Small variant for functional tests."""
+    stages = (
+        MBConvConfig(1, 8, 1, 1, 3),
+        MBConvConfig(4, 16, 1, 2, 3),
+    )
+    builder = GraphBuilder("efficientnet_tiny")
+    x = builder.input((1, 3, 16, 16), name="image")
+    x = conv_bn_act(builder, x, 8, kernel=3, stride=2, activation="swish",
+                    name="stem")
+    for stage_index, config in enumerate(stages):
+        for repeat in range(config.repeats):
+            stride = config.stride if repeat == 0 else 1
+            x = mbconv_block(
+                builder, x, config.channels, config.expand_ratio,
+                config.kernel, stride, name=f"s{stage_index}r{repeat}",
+            )
+    x = builder.global_avg_pool(x, name="gap")
+    w = builder.weight((x.shape[-1], 10), name="fc_w")
+    return builder.build([builder.matmul(x, w, name="logits")])
+
+
+def build_mbconv_submodule(
+    channels: int, resolution: int, expand_ratio: int = 6, kernel: int = 3,
+    name: str = "mbconv",
+) -> Graph:
+    """One MBConv block in isolation — the M0-M9 sub-modules of Fig. 6."""
+    builder = GraphBuilder(name)
+    x = builder.input((1, channels, resolution, resolution), name="x")
+    y = mbconv_block(builder, x, channels, expand_ratio, kernel, stride=1,
+                     name="m")
+    return builder.build([y])

@@ -1,0 +1,55 @@
+"""MMoE — Multi-gate Mixture-of-Experts (paper Table 2: base model of
+Ma et al., KDD'18, on a synthetic workload).
+
+The base configuration: a shared input, N expert MLPs, and per-task gating
+networks whose softmax outputs mix the expert outputs; each task has its own
+tower head. All experts consume the same input tensor — the spatial-reuse
+pattern Souffle's horizontal transformation merges into one kernel, which
+is why Souffle compiles MMoE to a single kernel (Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.op import OpNode
+from repro.models.common import GEMM_DTYPE, dense_fp16, mlp
+
+
+def build_mmoe(
+    input_dim: int = 512,
+    num_experts: int = 8,
+    expert_hidden: int = 16,
+    num_tasks: int = 2,
+    tower_hidden: int = 8,
+    name: str = "mmoe",
+) -> Graph:
+    """The MMoE base model: experts + per-task gates + towers."""
+    builder = GraphBuilder(name)
+    x = builder.input((1, input_dim), dtype=GEMM_DTYPE, name="features")
+
+    expert_outputs: List[OpNode] = []
+    for expert in range(num_experts):
+        h = dense_fp16(builder, x, input_dim, expert_hidden,
+                       name=f"expert{expert}_fc")
+        expert_outputs.append(builder.relu(h))
+    # (num_experts, expert_hidden): stack expert outputs for gating mixes.
+    experts = builder.concat(expert_outputs, axis=0, name="experts")
+
+    task_outputs: List[OpNode] = []
+    for task in range(num_tasks):
+        gate_logits = dense_fp16(builder, x, input_dim, num_experts,
+                                 bias=False, name=f"gate{task}")
+        gate = builder.softmax(gate_logits, axis=-1)  # (1, num_experts)
+        mixed = builder.matmul(gate, experts, name=f"mix{task}")
+        tower = mlp(builder, mixed, (tower_hidden, 1), name=f"tower{task}")
+        task_outputs.append(tower)
+    return builder.build(task_outputs)
+
+
+def build_mmoe_tiny() -> Graph:
+    """Small variant for functional tests."""
+    return build_mmoe(input_dim=16, num_experts=3, expert_hidden=4,
+                      num_tasks=2, tower_hidden=4, name="mmoe_tiny")

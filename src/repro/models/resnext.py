@@ -1,0 +1,80 @@
+"""ResNeXt-101 (paper Table 2: 101 layers, bottleneck width 64d).
+
+The 64x4d configuration: cardinality 64, base width 4, stages of
+[3, 4, 23, 3] bottleneck blocks, ImageNet input 1x3x224x224.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.op import OpNode
+from repro.models.common import conv_bn_act
+
+
+def _bottleneck(
+    builder: GraphBuilder,
+    x: OpNode,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    cardinality: int,
+    name: str,
+) -> OpNode:
+    """conv1x1 -> grouped conv3x3 -> conv1x1, with identity/projection add."""
+    shortcut = x
+    y = conv_bn_act(builder, x, mid_channels, kernel=1, name=f"{name}_c1")
+    y = conv_bn_act(
+        builder, y, mid_channels, kernel=3, stride=stride,
+        groups=cardinality, name=f"{name}_c2",
+    )
+    y = conv_bn_act(builder, y, out_channels, kernel=1, activation=None,
+                    name=f"{name}_c3")
+    if stride != 1 or x.shape[1] != out_channels:
+        shortcut = conv_bn_act(
+            builder, x, out_channels, kernel=1, stride=stride,
+            padding=0, activation=None, name=f"{name}_proj",
+        )
+    return builder.relu(builder.add(y, shortcut), name=f"{name}_out")
+
+
+def build_resnext(
+    layers_per_stage: List[int] = (3, 4, 23, 3),
+    cardinality: int = 64,
+    base_width: int = 4,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    name: str = "resnext101",
+) -> Graph:
+    """ResNeXt-101 (64x4d) for ImageNet classification."""
+    builder = GraphBuilder(name)
+    x = builder.input((1, 3, image_size, image_size), name="image")
+    x = conv_bn_act(builder, x, 64, kernel=7, stride=2, padding=3, name="stem")
+    x = builder.max_pool2d(x, kernel=3, stride=2, padding=1, name="stem_pool")
+
+    channels = 64
+    for stage, blocks in enumerate(layers_per_stage):
+        out_channels = 256 * (2 ** stage)
+        mid_channels = cardinality * base_width * (2 ** stage)
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck(
+                builder, x, mid_channels, out_channels, stride,
+                cardinality, name=f"s{stage}b{block}",
+            )
+        channels = out_channels
+
+    x = builder.global_avg_pool(x, name="gap")
+    w = builder.weight((channels, num_classes), name="fc_w")
+    logits = builder.matmul(x, w, name="logits")
+    return builder.build([logits])
+
+
+def build_resnext_tiny() -> Graph:
+    """Small variant for functional tests (2 stages, 16x16 images)."""
+    return build_resnext(
+        layers_per_stage=[1, 1], cardinality=4, base_width=4,
+        image_size=16, num_classes=10, name="resnext_tiny",
+    )

@@ -1,0 +1,19 @@
+"""Runtime: compiled modules, functional execution and profiling."""
+
+from repro.runtime.dispatch import DispatchRecord, ShapeDispatcher
+from repro.runtime.memory_planner import MemoryPlan, plan_memory
+from repro.runtime.module import CompiledModule, CompileStats, PhaseTimer
+from repro.runtime.profiler import KernelProfile, ProfileReport, profile_module
+
+__all__ = [
+    "CompileStats",
+    "DispatchRecord",
+    "MemoryPlan",
+    "ShapeDispatcher",
+    "plan_memory",
+    "CompiledModule",
+    "KernelProfile",
+    "PhaseTimer",
+    "ProfileReport",
+    "profile_module",
+]

@@ -1,0 +1,143 @@
+"""Dynamic-shape execution via multi-version compilation (paper Sec. 9).
+
+"Certain DNN operators have unknown tensor shapes at compile time ... we
+can generate multiple versions of a kernel and choose the appropriate one
+based on shape information available at execution time."
+
+:class:`ShapeDispatcher` implements that recipe at module granularity: the
+user supplies a model *builder* parameterised by the dynamic dimension
+(e.g. sequence length) and a set of bucket sizes; each bucket compiles once,
+and ``run`` selects the smallest bucket that fits the incoming shape,
+zero-pads the dynamic inputs up to it, executes, and slices outputs back.
+Padding with zeros is safe for the supported operator set as long as the
+model treats padded positions independently (true for the row-wise
+transformer/MLP models used here; attention models needing masks should
+fold the mask into the builder).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SouffleOptions
+from repro.errors import ExecutionError
+from repro.gpu.device import GPUSpec
+from repro.graph.graph import Graph
+from repro.runtime.module import CompiledModule
+
+# A builder takes the concrete dynamic size and returns the model graph.
+GraphBuilderFn = Callable[[int], Graph]
+
+
+@dataclass
+class DispatchRecord:
+    """What one ``run`` call resolved to (for tests and logging)."""
+
+    requested: int
+    bucket: int
+    padded: bool
+
+
+class ShapeDispatcher:
+    """Compile-once-per-bucket, dispatch-by-shape executor."""
+
+    def __init__(
+        self,
+        builder: GraphBuilderFn,
+        buckets: Sequence[int],
+        dynamic_inputs: Sequence[str],
+        dynamic_axis: int = 0,
+        device: Optional[GPUSpec] = None,
+        level: int = 4,
+    ) -> None:
+        if not buckets:
+            raise ExecutionError("at least one shape bucket is required")
+        self.buckets = sorted(set(buckets))
+        self.dynamic_inputs = tuple(dynamic_inputs)
+        self.dynamic_axis = dynamic_axis
+        self._builder = builder
+        # Imported here: repro.core imports repro.runtime.module, so a
+        # module-level import would be circular.
+        from repro.core.souffle import SouffleCompiler
+
+        self._compiler = SouffleCompiler(
+            device=device, options=SouffleOptions.from_level(level)
+        )
+        self._modules: Dict[int, CompiledModule] = {}
+        self.history: List[DispatchRecord] = []
+
+    # ---- compilation ---------------------------------------------------------
+
+    def module_for(self, bucket: int) -> CompiledModule:
+        """The compiled module for one bucket (compiled lazily, cached)."""
+        if bucket not in self._modules:
+            self._modules[bucket] = self._compiler.compile(self._builder(bucket))
+        return self._modules[bucket]
+
+    def compile_all(self) -> None:
+        """Eagerly compile every bucket (deployment warm-up)."""
+        for bucket in self.buckets:
+            self.module_for(bucket)
+
+    # ---- dispatch ---------------------------------------------------------------
+
+    def select_bucket(self, size: int) -> int:
+        """Smallest bucket >= size; raises if nothing fits."""
+        index = bisect.bisect_left(self.buckets, size)
+        if index == len(self.buckets):
+            raise ExecutionError(
+                f"dynamic size {size} exceeds the largest bucket "
+                f"{self.buckets[-1]}"
+            )
+        return self.buckets[index]
+
+    def run(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
+        """Execute with runtime shapes, padding to the chosen bucket."""
+        sizes = {
+            name: np.asarray(feeds[name]).shape[self.dynamic_axis]
+            for name in self.dynamic_inputs
+            if name in feeds
+        }
+        if not sizes:
+            raise ExecutionError(
+                f"none of the dynamic inputs {self.dynamic_inputs} were fed"
+            )
+        if len(set(sizes.values())) != 1:
+            raise ExecutionError(
+                f"dynamic inputs disagree on the dynamic axis: {sizes}"
+            )
+        size = next(iter(sizes.values()))
+        bucket = self.select_bucket(size)
+        module = self.module_for(bucket)
+        self.history.append(DispatchRecord(size, bucket, bucket != size))
+
+        padded: Dict[str, np.ndarray] = {}
+        for name, value in feeds.items():
+            array = np.asarray(value)
+            if name in self.dynamic_inputs and bucket != size:
+                pad_width = [(0, 0)] * array.ndim
+                pad_width[self.dynamic_axis] = (0, bucket - size)
+                array = np.pad(array, pad_width)
+            padded[name] = array
+
+        outputs = module.run_by_name(padded)
+        sliced: List[np.ndarray] = []
+        for out_tensor, value in zip(module.program.outputs, outputs):
+            if (
+                self.dynamic_axis < value.ndim
+                and value.shape[self.dynamic_axis] == bucket
+                and bucket != size
+            ):
+                slicer = [slice(None)] * value.ndim
+                slicer[self.dynamic_axis] = slice(0, size)
+                value = value[tuple(slicer)]
+            sliced.append(value)
+        return sliced
+
+    @property
+    def compiled_buckets(self) -> List[int]:
+        return sorted(self._modules)

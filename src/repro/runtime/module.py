@@ -1,0 +1,110 @@
+"""Compiled modules: the artifact every compiler in this repo produces.
+
+A :class:`CompiledModule` bundles the final TE program (functional
+semantics), the built kernels (performance semantics) and the device model.
+``run`` executes functionally with numpy; ``simulate`` produces the
+performance counters the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.gpu.device import GPUSpec
+from repro.gpu.simulator import GPUSimulator, ModuleMetrics
+from repro.graph.te_program import TEProgram
+from repro.te.evaluator import Evaluator
+from repro.te.tensor import Tensor
+from repro.tir.build import BuiltKernel
+
+
+@dataclass
+class CompileStats:
+    """Wall-clock breakdown of one compilation (paper Sec. 8.5)."""
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    schedule_trials: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def record(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+
+class PhaseTimer:
+    """Context manager recording a phase duration into :class:`CompileStats`."""
+
+    def __init__(self, stats: CompileStats, phase: str) -> None:
+        self._stats = stats
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stats.record(self._phase, time.perf_counter() - self._start)
+
+
+@dataclass
+class CompiledModule:
+    """The executable+measurable result of compiling one model."""
+
+    name: str
+    compiler: str
+    program: TEProgram
+    kernels: List[BuiltKernel]
+    device: GPUSpec
+    stats: CompileStats = field(default_factory=CompileStats)
+
+    # ---- performance ---------------------------------------------------------
+
+    def simulate(self) -> ModuleMetrics:
+        """Run the analytic performance model over all kernels."""
+        simulator = GPUSimulator(self.device)
+        return simulator.run_module([k.spec for k in self.kernels])
+
+    @property
+    def kernel_calls(self) -> int:
+        return len(self.kernels)
+
+    # ---- functional execution ---------------------------------------------------
+
+    def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
+        """Execute the module functionally; returns outputs in program order."""
+        evaluator = Evaluator(feeds)
+        return [evaluator.value_of(out) for out in self.program.outputs]
+
+    def run_by_name(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
+        """Like :meth:`run` but feeds are keyed by placeholder name."""
+        by_name = {t.name: t for t in self.program.inputs}
+        resolved: Dict[Tensor, np.ndarray] = {}
+        for name, value in feeds.items():
+            tensor = by_name.get(name)
+            if tensor is None:
+                raise ExecutionError(f"no input named {name!r}")
+            resolved[tensor] = value
+        return self.run(resolved)
+
+    # ---- inspection -----------------------------------------------------------
+
+    def render_kernels(self, limit: Optional[int] = None) -> str:
+        """Pseudo-CUDA of the generated kernels."""
+        chunks = []
+        for built in self.kernels[: limit or len(self.kernels)]:
+            chunks.append(built.function.render())
+        return "\n\n".join(chunks)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledModule {self.name} by {self.compiler}: "
+            f"{len(self.kernels)} kernels>"
+        )

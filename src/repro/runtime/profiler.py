@@ -1,0 +1,117 @@
+"""Profiling reports: the Nsight Compute stand-in (paper Sec. 7.3).
+
+Produces the counters the paper's tables use: per-kernel latency, bytes
+moved through global memory, kernel-call counts, pipeline utilisation, and
+the compute- vs memory-intensive latency split of Sec. 8.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.gpu.kernel import KernelMetrics
+from repro.gpu.simulator import ModuleMetrics
+from repro.runtime.module import CompiledModule
+
+
+@dataclass
+class KernelProfile:
+    """One profiled kernel row."""
+
+    name: str
+    time_us: float
+    load_bytes: float
+    store_bytes: float
+    flops: float
+    lsu_utilization: float
+    fma_utilization: float
+    grid_blocks: int
+    is_compute_intensive: bool
+
+    @classmethod
+    def from_metrics(cls, metrics: KernelMetrics) -> "KernelProfile":
+        kernel = metrics.kernel
+        return cls(
+            name=kernel.name,
+            time_us=metrics.time_us,
+            load_bytes=kernel.load_bytes + kernel.atomic_bytes,
+            store_bytes=kernel.store_bytes + kernel.atomic_bytes,
+            flops=kernel.total_flops,
+            lsu_utilization=metrics.lsu_utilization,
+            fma_utilization=metrics.fma_utilization,
+            grid_blocks=kernel.grid_blocks,
+            is_compute_intensive=(
+                metrics.compute_time_us > metrics.memory_time_us
+            ),
+        )
+
+
+@dataclass
+class ProfileReport:
+    """All counters for one compiled module."""
+
+    module_name: str
+    compiler: str
+    kernels: List[KernelProfile] = field(default_factory=list)
+
+    @property
+    def total_time_us(self) -> float:
+        return sum(k.time_us for k in self.kernels)
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_time_us / 1e3
+
+    @property
+    def kernel_calls(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def load_bytes(self) -> float:
+        return sum(k.load_bytes for k in self.kernels)
+
+    @property
+    def transfer_bytes(self) -> float:
+        return sum(k.load_bytes + k.store_bytes for k in self.kernels)
+
+    def latency_split_us(self) -> Tuple[float, float]:
+        """(compute-intensive, memory-intensive) kernel latency (Sec. 8.3)."""
+        compute = sum(k.time_us for k in self.kernels if k.is_compute_intensive)
+        memory = sum(k.time_us for k in self.kernels if not k.is_compute_intensive)
+        return compute, memory
+
+    def utilization(self) -> Dict[str, float]:
+        """Time-weighted LSU/FMA utilisation (Table 6 counters)."""
+        total = max(self.total_time_us, 1e-9)
+        return {
+            "lsu": sum(k.lsu_utilization * k.time_us for k in self.kernels) / total,
+            "fma": sum(k.fma_utilization * k.time_us for k in self.kernels) / total,
+        }
+
+    def render(self, top: int = 20) -> str:
+        """Text table of the slowest kernels."""
+        rows = sorted(self.kernels, key=lambda k: -k.time_us)[:top]
+        lines = [
+            f"profile: {self.module_name} [{self.compiler}] — "
+            f"{self.total_time_ms:.3f} ms, {self.kernel_calls} kernels, "
+            f"{self.transfer_bytes / 1e6:.1f} MB moved",
+            f"{'kernel':40s} {'us':>9s} {'MB':>8s} {'GFLOP':>8s} "
+            f"{'LSU%':>6s} {'FMA%':>6s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row.name[:40]:40s} {row.time_us:9.2f} "
+                f"{(row.load_bytes + row.store_bytes) / 1e6:8.2f} "
+                f"{row.flops / 1e9:8.2f} {row.lsu_utilization * 100:6.1f} "
+                f"{row.fma_utilization * 100:6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_module(module: CompiledModule) -> ProfileReport:
+    """Simulate and collect the full counter set for a module."""
+    metrics: ModuleMetrics = module.simulate()
+    report = ProfileReport(module_name=module.name, compiler=module.compiler)
+    report.kernels = [KernelProfile.from_metrics(m) for m in metrics.kernels]
+    return report

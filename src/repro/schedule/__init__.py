@@ -1,0 +1,37 @@
+"""Scheduling: TE schedules, the Ansor-like searcher and propagation."""
+
+from repro.schedule.ansor import (
+    AnsorScheduler,
+    ContractionDims,
+    contraction_dims,
+    is_two_phase_reduction,
+)
+from repro.schedule.roller import RollerScheduler, compare_schedulers
+from repro.schedule.propagate import inline_elementwise, propagate_schedule
+from repro.schedule.schedule import (
+    CONV,
+    ELEMENTWISE,
+    MATMUL,
+    OPAQUE,
+    REDUCE,
+    ScheduleStep,
+    TESchedule,
+)
+
+__all__ = [
+    "AnsorScheduler",
+    "RollerScheduler",
+    "compare_schedulers",
+    "is_two_phase_reduction",
+    "CONV",
+    "ContractionDims",
+    "ELEMENTWISE",
+    "MATMUL",
+    "OPAQUE",
+    "REDUCE",
+    "ScheduleStep",
+    "TESchedule",
+    "contraction_dims",
+    "inline_elementwise",
+    "propagate_schedule",
+]

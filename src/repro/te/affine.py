@@ -1,0 +1,198 @@
+"""Quasi-affine index maps (paper Sec. 5.2, Eq. 1-2).
+
+For a *one-relies-on-one* TE the mapping from an output element's indices to
+the input element it reads is an affine function ``M @ v + c`` where ``v`` is
+the vector of output indices. Vertical transformation (Sec. 6.2) composes
+these maps: ``f_{i+1,i}(v) = M_{i+1} (M_i v + c_i) + c_{i+1}``.
+
+Strided slices and other quasi-affine accesses (e.g. ``C[2*i, j]``) are
+covered because coefficients may be any integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TEError
+from repro.te.expr import BinOp, Const, Expr, IterVar, TensorRead, Var
+from repro.te.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """An affine map ``v -> M @ v + c`` from output indices to input indices.
+
+    ``matrix`` has shape (input_ndim, output_ndim); ``offset`` has shape
+    (input_ndim,).
+    """
+
+    matrix: Tuple[Tuple[int, ...], ...]
+    offset: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        rows = len(self.matrix)
+        if rows != len(self.offset):
+            raise TEError("affine map matrix/offset rank mismatch")
+        widths = {len(row) for row in self.matrix}
+        if len(widths) > 1:
+            raise TEError("ragged affine matrix")
+
+    @property
+    def input_ndim(self) -> int:
+        return len(self.matrix)
+
+    @property
+    def output_ndim(self) -> int:
+        return len(self.matrix[0]) if self.matrix else 0
+
+    def as_numpy(self) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.array(self.matrix, dtype=np.int64).reshape(
+                self.input_ndim, self.output_ndim
+            ),
+            np.array(self.offset, dtype=np.int64),
+        )
+
+    def apply(self, indices: Sequence[int]) -> Tuple[int, ...]:
+        """Map concrete output indices to the input indices they read."""
+        matrix, offset = self.as_numpy()
+        v = np.array(indices, dtype=np.int64)
+        if v.shape[0] != self.output_ndim:
+            raise TEError(
+                f"affine map expects {self.output_ndim} indices, got {len(indices)}"
+            )
+        return tuple(int(x) for x in matrix @ v + offset)
+
+    def compose(self, inner: "AffineMap") -> "AffineMap":
+        """The map ``v -> self(inner(v))`` (Eq. 2 of the paper).
+
+        ``inner`` maps the final output's indices to this map's inputs.
+        """
+        m_outer, c_outer = self.as_numpy()
+        m_inner, c_inner = inner.as_numpy()
+        if self.output_ndim != inner.input_ndim:
+            raise TEError(
+                f"cannot compose affine maps: outer consumes {self.output_ndim} "
+                f"indices, inner produces {inner.input_ndim}"
+            )
+        matrix = m_outer @ m_inner
+        offset = m_outer @ c_inner + c_outer
+        return AffineMap(
+            tuple(tuple(int(x) for x in row) for row in matrix),
+            tuple(int(x) for x in offset),
+        )
+
+    @staticmethod
+    def identity(ndim: int) -> "AffineMap":
+        eye = np.eye(ndim, dtype=np.int64)
+        return AffineMap(
+            tuple(tuple(int(x) for x in row) for row in eye),
+            tuple(0 for _ in range(ndim)),
+        )
+
+    def is_identity(self) -> bool:
+        if self.input_ndim != self.output_ndim:
+            return False
+        matrix, offset = self.as_numpy()
+        return bool(
+            np.array_equal(matrix, np.eye(self.input_ndim, dtype=np.int64))
+            and not offset.any()
+        )
+
+    def rebuild_indices(self, out_vars: Sequence[Var]) -> Tuple[Expr, ...]:
+        """Turn the map back into index expressions over ``out_vars``."""
+        if len(out_vars) != self.output_ndim:
+            raise TEError("variable count does not match affine map arity")
+        exprs: List[Expr] = []
+        for row, c in zip(self.matrix, self.offset):
+            acc: Optional[Expr] = None
+            for coeff, var in zip(row, out_vars):
+                if coeff == 0:
+                    continue
+                term: Expr = var if coeff == 1 else BinOp(
+                    "mul", Const(coeff, "int32"), var
+                )
+                acc = term if acc is None else BinOp("add", acc, term)
+            if c != 0 or acc is None:
+                const = Const(int(c), "int32")
+                acc = const if acc is None else BinOp("add", acc, const)
+            exprs.append(acc)
+        return tuple(exprs)
+
+    def __repr__(self) -> str:
+        return f"AffineMap(M={list(map(list, self.matrix))}, c={list(self.offset)})"
+
+
+def linearize(expr: Expr, var_order: Sequence[str]) -> Tuple[Dict[str, int], int]:
+    """Decompose an index expression into integer coefficients + constant.
+
+    Supports +, -, and multiplication by constants — the quasi-affine subset
+    of Sec. 5.2. Raises :class:`TEError` for anything non-affine
+    (e.g. ``i * j`` or ``i // 2``), which callers treat as "not
+    one-relies-on-one in affine form".
+    """
+    known = set(var_order)
+
+    def go(node: Expr) -> Tuple[Dict[str, int], int]:
+        if isinstance(node, Const):
+            if not isinstance(node.value, int):
+                raise TEError(f"non-integer constant {node.value!r} in index")
+            return {}, int(node.value)
+        if isinstance(node, Var):
+            if node.name not in known:
+                raise TEError(f"unknown index variable {node.name!r}")
+            return {node.name: 1}, 0
+        if isinstance(node, BinOp):
+            if node.op == "add":
+                lc, lk = go(node.lhs)
+                rc, rk = go(node.rhs)
+                coeffs = dict(lc)
+                for name, coeff in rc.items():
+                    coeffs[name] = coeffs.get(name, 0) + coeff
+                return coeffs, lk + rk
+            if node.op == "sub":
+                lc, lk = go(node.lhs)
+                rc, rk = go(node.rhs)
+                coeffs = dict(lc)
+                for name, coeff in rc.items():
+                    coeffs[name] = coeffs.get(name, 0) - coeff
+                return coeffs, lk - rk
+            if node.op == "mul":
+                lc, lk = go(node.lhs)
+                rc, rk = go(node.rhs)
+                if not lc:  # const * affine
+                    return {k: lk * v for k, v in rc.items()}, lk * rk
+                if not rc:  # affine * const
+                    return {k: rk * v for k, v in lc.items()}, lk * rk
+                raise TEError("non-affine index: product of variables")
+        raise TEError(f"non-affine index expression: {node!r}")
+
+    coeffs, const = go(expr)
+    return coeffs, const
+
+
+def extract_read_map(
+    read: TensorRead, spatial_axes: Sequence[IterVar]
+) -> AffineMap:
+    """Affine map from the TE's spatial axes to the indices of one read."""
+    var_order = [ax.name for ax in spatial_axes]
+    rows: List[Tuple[int, ...]] = []
+    offsets: List[int] = []
+    for index in read.indices:
+        coeffs, const = linearize(index, var_order)
+        rows.append(tuple(coeffs.get(name, 0) for name in var_order))
+        offsets.append(const)
+    return AffineMap(tuple(rows), tuple(offsets))
+
+
+def try_extract_read_map(
+    read: TensorRead, spatial_axes: Sequence[IterVar]
+) -> Optional[AffineMap]:
+    """Like :func:`extract_read_map` but returns ``None`` if non-affine."""
+    try:
+        return extract_read_map(read, spatial_axes)
+    except TEError:
+        return None

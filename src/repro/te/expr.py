@@ -1,0 +1,360 @@
+"""Expression IR for tensor expressions.
+
+This is the core intermediate representation the whole compiler operates on.
+A tensor expression (TE) describes how *one element* of an output tensor is
+computed from input tensors, in a pure functional style mirroring TVM's
+``te.compute``:
+
+    O0 = te.compute((64, 64), lambda i, j: te.sum(I0[i, rk] * W0[rk, j],
+                                                  axis=[rk]))
+
+Expression nodes are immutable; structural equality and hashing are
+value-based, which lets analyses memoise on sub-expressions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import TEError
+
+# Scalar Python values accepted wherever an expression is expected.
+ExprLike = Union["Expr", int, float, bool]
+
+
+def _wrap(value: ExprLike) -> "Expr":
+    """Coerce a Python scalar (or IterVar) into an expression."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, IterVar):
+        return value.var
+    if isinstance(value, bool):
+        return Const(int(value), "bool")
+    if isinstance(value, int):
+        return Const(value, "int32")
+    if isinstance(value, float):
+        return Const(value, "float32")
+    raise TEError(f"cannot use {value!r} of type {type(value).__name__} in a TE")
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all expression nodes.
+
+    Provides operator overloading so TE bodies read like ordinary math.
+    """
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp("add", self, _wrap(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp("add", _wrap(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp("sub", self, _wrap(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp("sub", _wrap(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp("mul", self, _wrap(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return BinOp("mul", _wrap(other), self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return BinOp("div", self, _wrap(other))
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return BinOp("div", _wrap(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("floordiv", self, _wrap(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return BinOp("mod", self, _wrap(other))
+
+    def __neg__(self) -> "Expr":
+        return BinOp("sub", Const(0, "int32"), self)
+
+    # Comparisons build predicate expressions (used by if_then_else).
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return Cmp("lt", self, _wrap(other))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return Cmp("le", self, _wrap(other))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return Cmp("gt", self, _wrap(other))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return Cmp("ge", self, _wrap(other))
+
+    def equal(self, other: ExprLike) -> "Expr":
+        """Element-wise equality predicate (``==`` is reserved for identity)."""
+        return Cmp("eq", self, _wrap(other))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A scalar constant."""
+
+    value: Union[int, float]
+    dtype: str = "float32"
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar iteration variable reference (spatial or reduction)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Range:
+    """A half-open integer interval ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise TEError(f"empty range [{self.lo}, {self.hi})")
+
+    @property
+    def extent(self) -> int:
+        return self.hi - self.lo
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+@dataclass(frozen=True)
+class IterVar:
+    """An iteration variable with a domain.
+
+    ``kind`` is ``"spatial"`` for output-shape axes and ``"reduce"`` for
+    reduction axes created by :func:`repro.te.tensor.reduce_axis`.
+    """
+
+    var: Var
+    dom: Range
+    kind: str = "spatial"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("spatial", "reduce"):
+            raise TEError(f"bad IterVar kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        return self.var.name
+
+    @property
+    def extent(self) -> int:
+        return self.dom.extent
+
+    def __repr__(self) -> str:
+        tag = "r" if self.kind == "reduce" else "s"
+        return f"{self.name}{tag}{self.dom}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: add/sub/mul/div/floordiv/mod/max/min/pow."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    _VALID = ("add", "sub", "mul", "div", "floordiv", "mod", "max", "min", "pow")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise TEError(f"unknown binary op {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison predicate: lt/le/gt/ge/eq/ne."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    _VALID = ("lt", "le", "gt", "ge", "eq", "ne")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise TEError(f"unknown comparison op {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic call (exp, sigmoid, relu, ...)."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    _VALID = (
+        "exp",
+        "log",
+        "sqrt",
+        "rsqrt",
+        "erf",
+        "tanh",
+        "sigmoid",
+        "relu",
+        "gelu",
+        "abs",
+        "floor",
+        "ceil",
+        "cast_fp16",
+        "cast_fp32",
+    )
+
+    def __post_init__(self) -> None:
+        if self.func not in self._VALID:
+            raise TEError(f"unknown intrinsic {self.func!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class TensorRead(Expr):
+    """A read of one element of a tensor: ``A[i, j]``.
+
+    ``tensor`` is a :class:`repro.te.tensor.Tensor`; it is typed loosely here
+    to avoid a circular import.
+    """
+
+    tensor: object
+    indices: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        ndim = len(getattr(self.tensor, "shape", ()))
+        if ndim != len(self.indices):
+            raise TEError(
+                f"tensor {getattr(self.tensor, 'name', '?')} has {ndim} dims, "
+                f"indexed with {len(self.indices)}"
+            )
+
+    def __repr__(self) -> str:
+        idx = ", ".join(map(repr, self.indices))
+        return f"{getattr(self.tensor, 'name', '?')}[{idx}]"
+
+    # dataclass eq on `tensor` would recurse through Tensor -> op -> body;
+    # identity of the tensor object is the correct notion here.
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TensorRead)
+            and self.tensor is other.tensor
+            and self.indices == other.indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.tensor), self.indices))
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """A reduction over one or more reduce axes.
+
+    ``kind`` is one of ``sum``, ``max``, ``min``; ``init`` is the identity
+    element used to seed the accumulator.
+    """
+
+    kind: str
+    body: Expr
+    axes: Tuple[IterVar, ...]
+
+    _VALID = ("sum", "max", "min")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._VALID:
+            raise TEError(f"unknown reduction kind {self.kind!r}")
+        if not self.axes:
+            raise TEError("reduction must have at least one axis")
+        for ax in self.axes:
+            if ax.kind != "reduce":
+                raise TEError(f"axis {ax.name} of Reduce is not a reduce axis")
+
+    @property
+    def init(self) -> float:
+        return {"sum": 0.0, "max": -math.inf, "min": math.inf}[self.kind]
+
+    def __repr__(self) -> str:
+        axes = ", ".join(ax.name for ax in self.axes)
+        return f"{self.kind}({self.body!r}, axis=[{axes}])"
+
+
+@dataclass(frozen=True)
+class IfThenElse(Expr):
+    """Element-wise select: ``cond ? then_value : else_value``."""
+
+    cond: Expr
+    then_value: Expr
+    else_value: Expr
+
+    def __repr__(self) -> str:
+        return (
+            f"if_then_else({self.cond!r}, {self.then_value!r}, "
+            f"{self.else_value!r})"
+        )
+
+
+def if_then_else(cond: ExprLike, then_value: ExprLike, else_value: ExprLike) -> Expr:
+    """Build an :class:`IfThenElse` node, coercing scalar operands."""
+    return IfThenElse(_wrap(cond), _wrap(then_value), _wrap(else_value))
+
+
+def call(func: str, *args: ExprLike) -> Expr:
+    """Build an intrinsic :class:`Call` node."""
+    return Call(func, tuple(_wrap(a) for a in args))
+
+
+def maximum(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("max", _wrap(a), _wrap(b))
+
+
+def minimum(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("min", _wrap(a), _wrap(b))
+
+
+_INTRINSIC_FLOP_COST: Dict[str, int] = {
+    # Approximate arithmetic-instruction cost per call, used by the
+    # compute/memory characterisation of Sec. 5.3.
+    "exp": 4,
+    "log": 4,
+    "sqrt": 2,
+    "rsqrt": 2,
+    "erf": 8,
+    "tanh": 6,
+    "sigmoid": 5,
+    "relu": 1,
+    "gelu": 10,
+    "abs": 1,
+    "floor": 1,
+    "ceil": 1,
+    "cast_fp16": 0,
+    "cast_fp32": 0,
+}
+
+
+def intrinsic_flop_cost(func: str) -> int:
+    """Arithmetic cost weight of an intrinsic (for TE characterisation)."""
+    return _INTRINSIC_FLOP_COST.get(func, 4)

@@ -1,0 +1,201 @@
+"""Structural pattern recognisers over tensor expressions.
+
+Used by the evaluator (to dispatch matmul-like TEs to ``einsum``), by the
+scheduler (tensor-core eligibility) and by TE characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.te.expr import BinOp, Call, Cmp, Const, Expr, IfThenElse, Reduce, TensorRead, Var
+from repro.te.tensor import Tensor
+from repro.te.traversal import contains_reduce, walk
+
+
+def is_elementwise(tensor: Tensor) -> bool:
+    """True for TEs whose body contains no reduction (one-relies-on-one)."""
+    if tensor.op is None:
+        return False
+    return not contains_reduce(tensor.op.body)
+
+
+def is_reduction(tensor: Tensor) -> bool:
+    """True for TEs with a top-level reduction (one-relies-on-many)."""
+    return tensor.op is not None and isinstance(tensor.op.body, Reduce)
+
+
+def reduction_kind(tensor: Tensor) -> Optional[str]:
+    """``sum``/``max``/``min`` for reduction TEs, else ``None``."""
+    if tensor.op is not None and isinstance(tensor.op.body, Reduce):
+        return tensor.op.body.kind
+    return None
+
+
+@dataclass(frozen=True)
+class MatmulPattern:
+    """A recognised contraction ``out[spatial] = sum over reduce of lhs*rhs``.
+
+    ``lhs_spec``/``rhs_spec``/``out_spec`` are einsum-style index strings over
+    a shared alphabet, e.g. ``("ik", "kj", "ij")`` for a plain GEMM.
+    """
+
+    lhs: Tensor
+    rhs: Tensor
+    lhs_spec: str
+    rhs_spec: str
+    out_spec: str
+
+    @property
+    def einsum_formula(self) -> str:
+        return f"{self.lhs_spec},{self.rhs_spec}->{self.out_spec}"
+
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _pure_var_indices(read: TensorRead) -> Optional[List[str]]:
+    """Index variable names if every index is a bare Var, else None."""
+    names: List[str] = []
+    for index in read.indices:
+        if not isinstance(index, Var):
+            return None
+        names.append(index.name)
+    return names
+
+
+def match_matmul(tensor: Tensor) -> Optional[MatmulPattern]:
+    """Recognise GEMM / batched-matmul / GEMV-shaped contractions.
+
+    Matches ``sum(lhs[vars...] * rhs[vars...])`` where every index is a bare
+    iteration variable. Convolutions (whose indices are affine like
+    ``h + rh``) intentionally do not match and use the generic evaluator.
+    """
+    if tensor.op is None or not isinstance(tensor.op.body, Reduce):
+        return None
+    red = tensor.op.body
+    if red.kind != "sum" or not isinstance(red.body, BinOp) or red.body.op != "mul":
+        return None
+    lhs, rhs = red.body.lhs, red.body.rhs
+    if not isinstance(lhs, TensorRead) or not isinstance(rhs, TensorRead):
+        return None
+    lhs_names = _pure_var_indices(lhs)
+    rhs_names = _pure_var_indices(rhs)
+    if lhs_names is None or rhs_names is None:
+        return None
+
+    spatial_names = [ax.name for ax in tensor.op.axes]
+    reduce_names = [ax.name for ax in red.axes]
+    legal = set(spatial_names) | set(reduce_names)
+    if not set(lhs_names) <= legal or not set(rhs_names) <= legal:
+        return None
+    # Every index must sweep its full tensor dimension, otherwise the read
+    # covers only a region and einsum dispatch would be wrong (can happen
+    # after horizontal merging redirects reads into a concatenated tensor).
+    extents = {ax.name: ax.extent for ax in tensor.op.axes}
+    extents.update({ax.name: ax.extent for ax in red.axes})
+    for read, names in ((lhs, lhs_names), (rhs, rhs_names)):
+        shape = getattr(read.tensor, "shape", ())
+        if len(names) != len(shape):
+            return None
+        for name, dim in zip(names, shape):
+            if extents[name] != dim:
+                return None
+    # Every spatial axis must appear somewhere, else this is a broadcast
+    # contraction the simple einsum dispatch below would mishandle.
+    if not set(spatial_names) <= (set(lhs_names) | set(rhs_names)):
+        return None
+
+    letters: Dict[str, str] = {}
+    for name in spatial_names + reduce_names:
+        if name not in letters:
+            if len(letters) >= len(_LETTERS):
+                return None
+            letters[name] = _LETTERS[len(letters)]
+    try:
+        lhs_spec = "".join(letters[n] for n in lhs_names)
+        rhs_spec = "".join(letters[n] for n in rhs_names)
+    except KeyError:
+        return None
+    out_spec = "".join(letters[n] for n in spatial_names)
+    return MatmulPattern(lhs.tensor, rhs.tensor, lhs_spec, rhs_spec, out_spec)  # type: ignore[arg-type]
+
+
+def count_arith_ops(
+    expr: Expr, unit_intrinsics: bool = False, include_index_math: bool = True
+) -> int:
+    """Arithmetic-instruction count of one evaluation of ``expr``.
+
+    Reductions multiply their body cost by the reduction domain size (the
+    body runs once per reduction point) plus one combine op per point.
+
+    ``unit_intrinsics`` counts every intrinsic call as a single instruction —
+    the right granularity for the paper's compute/memory *classification*
+    (Sec. 5.3 counts instructions per element; a ``tanh`` is one MUFU op),
+    whereas the performance model wants the full FLOP-equivalent cost.
+    ``include_index_math=False`` excludes address computation inside tensor
+    read indices (classification counts data arithmetic, not addressing —
+    a reshape moves bytes, it does not compute).
+    """
+    from repro.te.expr import intrinsic_flop_cost
+
+    if isinstance(expr, (Const, Var)):
+        return 0
+    if isinstance(expr, TensorRead):
+        if not include_index_math:
+            return 0
+        return sum(
+            count_arith_ops(i, unit_intrinsics, include_index_math)
+            for i in expr.indices
+        )
+    if isinstance(expr, (BinOp, Cmp)):
+        return (
+            1
+            + count_arith_ops(expr.lhs, unit_intrinsics, include_index_math)
+            + count_arith_ops(expr.rhs, unit_intrinsics, include_index_math)
+        )
+    if isinstance(expr, Call):
+        cost = 1 if unit_intrinsics else intrinsic_flop_cost(expr.func)
+        return cost + sum(
+            count_arith_ops(a, unit_intrinsics, include_index_math)
+            for a in expr.args
+        )
+    if isinstance(expr, IfThenElse):
+        # Selection executes one branch per element; the predicate itself is
+        # block-uniform after codegen (horizontal merges guard branches with
+        # `if (blockIdx < ...)`), so it hoists out of the per-element cost.
+        return 1 + max(
+            count_arith_ops(expr.then_value, unit_intrinsics, include_index_math),
+            count_arith_ops(expr.else_value, unit_intrinsics, include_index_math),
+        )
+    if isinstance(expr, Reduce):
+        domain = 1
+        for ax in expr.axes:
+            domain *= ax.extent
+        return domain * (
+            1 + count_arith_ops(expr.body, unit_intrinsics, include_index_math)
+        )
+    return 0
+
+
+def count_memory_reads(expr: Expr) -> int:
+    """Number of tensor-element reads per evaluation of ``expr``."""
+    if isinstance(expr, TensorRead):
+        return 1
+    if isinstance(expr, Reduce):
+        domain = 1
+        for ax in expr.axes:
+            domain *= ax.extent
+        return domain * count_memory_reads(expr.body)
+    if isinstance(expr, (BinOp, Cmp)):
+        return count_memory_reads(expr.lhs) + count_memory_reads(expr.rhs)
+    if isinstance(expr, Call):
+        return sum(count_memory_reads(a) for a in expr.args)
+    if isinstance(expr, IfThenElse):
+        return (
+            count_memory_reads(expr.cond)
+            + count_memory_reads(expr.then_value)
+            + count_memory_reads(expr.else_value)
+        )
+    return 0

@@ -1,0 +1,40 @@
+"""TensorIR-like kernel construction and subprogram-level optimisations."""
+
+from repro.tir.build import BuiltKernel, build_kernel
+from repro.tir.pipeline import apply_pipeline
+from repro.tir.reuse_cache import (
+    Access,
+    ReuseReport,
+    apply_reuse,
+    cache_capacity_bytes,
+    total_traffic,
+)
+from repro.tir.stmt import (
+    AllocShared,
+    ComputeStmt,
+    GridSync,
+    KernelFunction,
+    LoadGlobal,
+    Predicate,
+    Stmt,
+    StoreGlobal,
+)
+
+__all__ = [
+    "Access",
+    "AllocShared",
+    "BuiltKernel",
+    "ComputeStmt",
+    "GridSync",
+    "KernelFunction",
+    "LoadGlobal",
+    "Predicate",
+    "ReuseReport",
+    "Stmt",
+    "StoreGlobal",
+    "apply_pipeline",
+    "apply_reuse",
+    "build_kernel",
+    "cache_capacity_bytes",
+    "total_traffic",
+]

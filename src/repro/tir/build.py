@@ -1,0 +1,287 @@
+"""Building merged kernels from TE groups (paper Sec. 6.4-6.5).
+
+One subprogram (or baseline fusion group) becomes one GPU kernel:
+
+* TEs are assigned *stage depths*; consecutive depths are separated by
+  ``grid.sync()`` (Sec. 6.4 "inserts global sync primitives between TEs with
+  one-relies-on-many dependency");
+* memory-intensive TEs attach to their producer's stage (schedule
+  propagation, Sec. 6.3), so their values flow through shared memory and
+  registers instead of global memory;
+* the kernel's launch geometry is the maximum over its stages, with
+  predicates guarding smaller TEs (Fig. 2's ``if blockIdx.x < 4`` wrappers);
+* every global-memory access is recorded in a linear trace that the reuse
+  pass (Sec. 6.5) later optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.characterize import TECharacter
+from repro.errors import CodegenError
+from repro.gpu.device import GPUSpec
+from repro.gpu.kernel import KernelSpec
+from repro.graph.te_program import TENode, TEProgram
+from repro.schedule.ansor import AnsorScheduler
+from repro.schedule.schedule import TESchedule
+from repro.te.patterns import is_reduction
+from repro.te.tensor import Tensor
+from repro.tir.reuse_cache import Access, ReuseReport, total_traffic
+from repro.tir.stmt import (
+    AllocShared,
+    ComputeStmt,
+    GridSync,
+    KernelFunction,
+    LoadGlobal,
+    Predicate,
+    StoreGlobal,
+    Stmt,
+)
+
+CI = "ci"
+MI_ELEM = "mi-elem"
+MI_REDUCE = "mi-reduce"
+
+
+@dataclass
+class BuiltKernel:
+    """A constructed kernel plus its access trace for later optimisation."""
+
+    spec: KernelSpec
+    function: KernelFunction
+    accesses: List[Access] = field(default_factory=list)
+    reuse_report: Optional[ReuseReport] = None
+
+    def refresh_traffic(self) -> None:
+        """Recompute the spec's traffic from the (optimised) access trace."""
+        loads, stores = total_traffic(self.accesses)
+        self.spec.load_bytes = loads
+        self.spec.store_bytes = stores
+
+
+def _node_kind(node: TENode, chars: Dict[TENode, TECharacter]) -> str:
+    if chars[node].is_compute_intensive:
+        return CI
+    if is_reduction(node.tensor):
+        return MI_REDUCE
+    return MI_ELEM
+
+
+def _stage_depths(
+    nodes: Sequence[TENode],
+    program: TEProgram,
+    kinds: Dict[TENode, str],
+    uses_atomic: Dict[TENode, bool],
+) -> Dict[TENode, int]:
+    """Assign each TE a stage depth; a +1 edge means a grid sync is required
+    before the consumer can run.
+
+    Edge cost from producer p to consumer n (both in-kernel):
+      * p is a two-phase (atomic) reduce  -> 1 (its result lands after sync)
+      * n is compute-intensive and p is a contraction/reduction -> 1
+        (n needs p complete device-wide)
+      * n is a row-wise reduction that sweeps *all* of p per output element
+        (e.g. an LSTM GEMV consuming the previous wavefront's whole hidden
+        state) -> 1: the swept data spans blocks, so p must be complete
+        device-wide — Fig. 7(b)'s grid sync between wavefronts
+      * otherwise                          -> 0 (value flows on-chip:
+        elementwise consumers align with p's tiles/rows via compute_at,
+        row-aligned reductions like softmax's sum reduce their own block's
+        rows, and elementwise producers inline into a contraction's operand
+        reads as a prologue, TVM-style)
+    """
+    node_set = set(nodes)
+    depth: Dict[TENode, int] = {}
+    for node in nodes:
+        d = 0
+        reduce_domain = 1
+        if kinds[node] == MI_REDUCE:
+            assert node.tensor.op is not None
+            for ax in node.tensor.op.reduce_axes:
+                reduce_domain *= ax.extent
+        for producer in program.node_producers(node):
+            if producer not in node_set:
+                continue
+            cost = 0
+            if uses_atomic[producer]:
+                cost = 1
+            elif kinds[node] == CI and kinds[producer] != MI_ELEM:
+                cost = 1
+            elif (
+                kinds[node] == MI_REDUCE
+                and not uses_atomic[node]
+                and reduce_domain >= producer.tensor.num_elements
+            ):
+                cost = 1
+            d = max(d, depth[producer] + cost)
+        depth[node] = d
+    return depth
+
+
+def build_kernel(
+    name: str,
+    nodes: Sequence[TENode],
+    program: TEProgram,
+    chars: Dict[TENode, TECharacter],
+    schedules: Dict[TENode, TESchedule],
+    scheduler: AnsorScheduler,
+    device: GPUSpec,
+    allow_sync: bool = True,
+) -> BuiltKernel:
+    """Merge a group of TEs into one kernel with a traffic trace."""
+    if not nodes:
+        raise CodegenError(f"kernel {name} has no TEs")
+    node_set = set(nodes)
+    in_kernel = {id(n.tensor) for n in nodes}
+    kinds = {n: _node_kind(n, chars) for n in nodes}
+
+    def schedule_of(node: TENode) -> TESchedule:
+        sched = schedules.get(node)
+        if sched is None:
+            sched = scheduler.schedule(node)
+            schedules[node] = sched
+        return sched
+
+    uses_atomic = {
+        n: kinds[n] == MI_REDUCE and schedule_of(n).atomic_bytes > 0
+        for n in nodes
+    }
+    depth = _stage_depths(nodes, program, kinds, uses_atomic)
+    max_depth = max(depth.values())
+    if max_depth > 0 and not allow_sync:
+        raise CodegenError(
+            f"kernel {name} requires grid sync but sync is disabled; "
+            "the grouping pass must not form such groups"
+        )
+
+    # ---- per-node traffic + statements -------------------------------------
+    accesses: List[Access] = []
+    stage_stmts: Dict[int, List[Stmt]] = {d: [] for d in range(max_depth + 1)}
+    params: List[Tensor] = []
+    param_ids: Set[int] = set()
+
+    fp16_flops = 0.0
+    fp32_flops = 0.0
+    atomic_bytes = 0.0
+    grid_blocks = 1
+    threads = 1
+    smem = 0
+
+    for node in nodes:
+        sched = schedule_of(node)
+        fp16_flops += sched.fp16_flops
+        fp32_flops += sched.fp32_flops
+        grid_blocks = max(grid_blocks, sched.grid_blocks)
+        threads = max(threads, sched.threads_per_block)
+        smem = max(smem, sched.shared_mem_per_block)
+        stmts = stage_stmts[depth[node]]
+
+        # Input loads.
+        inputs = node.inputs
+        external = [t for t in inputs if id(t) not in in_kernel]
+        external_total = sum(t.size_bytes for t in external) or 1
+        for tensor in inputs:
+            producer = program.producer(tensor)
+            if producer is not None and producer in node_set:
+                if depth[producer] == depth[node]:
+                    continue  # on-chip flow within the stage
+                internal = _internal(tensor, program, node_set)
+                access = Access(tensor, "load", float(tensor.size_bytes),
+                                internal=internal)
+                accesses.append(access)
+                stmts.append(LoadGlobal(tensor, access.nbytes))
+            else:
+                if kinds[node] == CI:
+                    # Distribute the schedule's amortised contraction loads
+                    # (with tile reload factors) across external inputs.
+                    nbytes = sched.load_bytes * tensor.size_bytes / external_total
+                else:
+                    nbytes = float(tensor.size_bytes)
+                access = Access(tensor, "load", nbytes, internal=False)
+                accesses.append(access)
+                stmts.append(LoadGlobal(tensor, nbytes))
+                if id(tensor) not in param_ids:
+                    param_ids.add(id(tensor))
+                    params.append(tensor)
+
+        # Compute.
+        atomic_here = uses_atomic[node]
+        if atomic_here:
+            atomic_bytes += sched.atomic_bytes
+        stmts.append(
+            ComputeStmt(
+                te_name=node.name,
+                op_type=node.op_type,
+                flops=sched.total_flops,
+                tensor_core=sched.use_tensor_core,
+                atomic=atomic_here,
+            )
+        )
+
+        # Output store.
+        out = node.tensor
+        internal = _internal(out, program, node_set)
+        store_bytes = 0.0 if atomic_here else float(out.size_bytes)
+        access = Access(out, "store", store_bytes, internal=internal)
+        accesses.append(access)
+        stmts.append(StoreGlobal(out, store_bytes))
+        if not internal and id(out) not in param_ids:
+            param_ids.add(id(out))
+            params.append(out)
+
+    # ---- launch geometry ----------------------------------------------------
+    syncs = max_depth
+    if syncs > 0:
+        # A kernel containing grid syncs must fit in one wave; larger stages
+        # loop over tiles inside the persistent blocks.
+        wave = device.max_blocks_per_wave(threads, smem)
+        grid_blocks = min(grid_blocks, max(wave, 1))
+
+    spec = KernelSpec(
+        name=name,
+        grid_blocks=grid_blocks,
+        threads_per_block=threads,
+        shared_mem_per_block=smem,
+        regs_per_thread=max(
+            (schedules[n].regs_per_thread for n in nodes), default=32
+        ),
+        fp16_flops=fp16_flops,
+        fp32_flops=fp32_flops,
+        atomic_bytes=atomic_bytes,
+        grid_syncs=syncs,
+        te_names=[n.name for n in nodes],
+        source_ops=sorted({n.op_name for n in nodes}),
+    )
+
+    # ---- function body -------------------------------------------------------
+    body: List[Stmt] = [AllocShared(f"smem_{name}", smem)]
+    for level in range(max_depth + 1):
+        level_nodes = [n for n in nodes if depth[n] == level]
+        active = max(
+            (schedules[n].grid_blocks for n in level_nodes), default=grid_blocks
+        )
+        active = min(active, grid_blocks)
+        body.append(Predicate(active, stage_stmts[level]))
+        if level < max_depth:
+            body.append(GridSync())
+    function = KernelFunction(
+        name=name,
+        params=params,
+        grid_blocks=grid_blocks,
+        threads_per_block=threads,
+        shared_mem_bytes=smem,
+        stmts=body,
+    )
+
+    built = BuiltKernel(spec=spec, function=function, accesses=accesses)
+    built.refresh_traffic()
+    return built
+
+
+def _internal(tensor: Tensor, program: TEProgram, node_set: Set[TENode]) -> bool:
+    """Tensor never observed outside this kernel."""
+    if program.is_output(tensor):
+        return False
+    return all(c in node_set for c in program.consumers(tensor))

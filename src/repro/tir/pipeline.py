@@ -1,0 +1,42 @@
+"""Instruction-level pipeline optimisation (paper Sec. 6.5).
+
+Within a merged kernel holding several original operators, Souffle regroups
+instructions so asynchronous global->shared copies (LDGSTS) overlap with
+tensor-core arithmetic (HMMA) — Fig. 1(d)'s cross-GEMM pipelining: while
+GEMM2 computes, GEMM3's weights stream in.
+
+In the analytic model this raises the kernel's memory/compute overlap factor
+(``KernelSpec.pipelined``). The optimisation needs global dependence
+information ("without global data dependency analysis the optimization can
+not be done"): it only applies where the next stage's operand addresses are
+known in-kernel, i.e. to kernels merging at least two TEs with some
+compute-intensive work to hide the loads behind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.characterize import TECharacter
+from repro.graph.te_program import TENode
+from repro.tir.build import BuiltKernel
+
+
+def apply_pipeline(
+    built: BuiltKernel, nodes: List[TENode], chars: Dict[TENode, TECharacter]
+) -> bool:
+    """Mark the kernel pipelined when cross-TE overlap is legal & profitable.
+
+    Conditions:
+      * the kernel merges more than one TE (there is a *next* operator whose
+        loads can be prefetched), and
+      * at least one TE is compute-intensive (there is arithmetic to hide
+        the loads behind).
+    Returns whether the kernel was pipelined.
+    """
+    if len(nodes) < 2:
+        return False
+    if not any(chars[n].is_compute_intensive for n in nodes):
+        return False
+    built.spec.pipelined = True
+    return True

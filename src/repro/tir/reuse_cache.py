@@ -1,0 +1,172 @@
+"""Tensor-reuse optimisation: the software-managed on-chip cache (Sec. 6.5).
+
+Souffle "maximizes tensor buffer reuse across TEs with a simple
+software-managed cache, using a Least Recently Used (LRU) policy ... It
+scans instructions linearly until shared memory is exhausted, spilling the
+shared memory to global memory".
+
+We implement that linear LRU scan over a kernel's tensor-access trace, plus
+a pinning pre-pass for tensors accessed many times across stages (the
+grid-persistent-weight pattern of the LSTM case study, Sec. 8.4, where each
+block keeps its cell's weights on-chip across all time steps). Pinning is a
+greedy knapsack on bytes saved; the remaining capacity runs the LRU scan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.te.tensor import Tensor
+
+
+@dataclass
+class Access:
+    """One global-memory access in a kernel's linear instruction scan."""
+
+    tensor: Tensor
+    kind: str            # "load" | "store"
+    nbytes: float        # traffic this access would cost uncached
+    internal: bool = False  # tensor lives entirely within this kernel
+    satisfied: bool = False  # set by the pass: on-chip, no global traffic
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("load", "store"):
+            raise ValueError(f"bad access kind {self.kind!r}")
+
+
+@dataclass
+class ReuseReport:
+    """Outcome of the reuse pass for one kernel."""
+
+    pinned: List[str] = field(default_factory=list)
+    bytes_saved: float = 0.0
+    loads_satisfied: int = 0
+    stores_elided: int = 0
+
+
+# Fraction of register file usable as a spill target for the software cache
+# (values also live in registers, paper Sec. 2.3 "cache ... on
+# register/shared memory").
+REGISTER_CACHE_FRACTION = 0.5
+
+
+def cache_capacity_bytes(total_shared: int, total_registers: int) -> float:
+    """On-chip capacity available to the software-managed cache."""
+    return total_shared + REGISTER_CACHE_FRACTION * total_registers * 4
+
+
+def apply_reuse(accesses: List[Access], capacity: float) -> ReuseReport:
+    """Mutates ``accesses`` marking which are satisfied on-chip.
+
+    1. **Pinning**: tensors loaded more than once are candidates; pin
+       greedily by bytes-saved density until capacity is filled. Pinned
+       tensors pay their first load only.
+    2. **LRU scan** over the remainder with the leftover capacity: a load
+       hits if the tensor is resident; every touched tensor becomes resident
+       (evicting least-recently-used). Stores of *internal* tensors whose
+       subsequent loads all hit are elided entirely (the value never leaves
+       chip, Sec. 2.3 "the entire tensor data can be kept on-chip").
+    """
+    report = ReuseReport()
+
+    load_counts: Dict[int, int] = {}
+    tensors: Dict[int, Tensor] = {}
+    for access in accesses:
+        tensors[id(access.tensor)] = access.tensor
+        if access.kind == "load":
+            load_counts[id(access.tensor)] = load_counts.get(id(access.tensor), 0) + 1
+
+    # ---- pinning pre-pass -------------------------------------------------
+    pinned: Set[int] = set()
+    remaining = capacity
+    candidates = [
+        (key, tensors[key]) for key, count in load_counts.items() if count >= 2
+    ]
+    candidates.sort(
+        key=lambda pair: (load_counts[pair[0]] - 1) * pair[1].size_bytes,
+        reverse=True,
+    )
+    for key, tensor in candidates:
+        if tensor.size_bytes <= remaining:
+            pinned.add(key)
+            remaining -= tensor.size_bytes
+            report.pinned.append(tensor.name)
+
+    seen_pinned: Set[int] = set()
+    for access in accesses:
+        key = id(access.tensor)
+        if key not in pinned:
+            continue
+        if access.kind == "load":
+            if key in seen_pinned:
+                access.satisfied = True
+                report.bytes_saved += access.nbytes
+                report.loads_satisfied += 1
+            seen_pinned.add(key)
+        else:
+            seen_pinned.add(key)
+
+    # ---- LRU scan ---------------------------------------------------------
+    lru: "OrderedDict[int, float]" = OrderedDict()
+    used = 0.0
+
+    def touch(key: int, nbytes: float) -> None:
+        nonlocal used
+        if nbytes > remaining:
+            return  # larger than the cache: never resident
+        if key in lru:
+            lru.move_to_end(key)
+            return
+        while used + nbytes > remaining and lru:
+            _, evicted = lru.popitem(last=False)
+            used -= evicted
+        if used + nbytes <= remaining:
+            lru[key] = nbytes
+            used += nbytes
+
+    resident_loads: Dict[int, List[Access]] = {}
+    for access in accesses:
+        key = id(access.tensor)
+        if key in pinned:
+            continue
+        nbytes = access.tensor.size_bytes
+        if access.kind == "load":
+            if key in lru:
+                access.satisfied = True
+                report.bytes_saved += access.nbytes
+                report.loads_satisfied += 1
+            resident_loads.setdefault(key, []).append(access)
+            touch(key, nbytes)
+        else:
+            touch(key, nbytes)
+
+    # ---- elide stores of fully on-chip internal tensors ---------------------
+    # An internal tensor whose every in-kernel load was satisfied on-chip
+    # never needs its global copy: the value stays in shared memory/registers
+    # for its whole life (Sec. 2.3 "the entire tensor data can be kept
+    # on-chip"). For pinned internal tensors the store *is* the placement, so
+    # all their loads are satisfied by construction.
+    loads_by_tensor: Dict[int, List[Access]] = {}
+    for access in accesses:
+        if access.kind == "load":
+            loads_by_tensor.setdefault(id(access.tensor), []).append(access)
+    for access in accesses:
+        key = id(access.tensor)
+        if access.kind != "store" or not access.internal or access.satisfied:
+            continue
+        loads = loads_by_tensor.get(key, [])
+        if loads and all(a.satisfied for a in loads):
+            access.satisfied = True
+            report.bytes_saved += access.nbytes
+            report.stores_elided += 1
+
+    return report
+
+
+def total_traffic(accesses: List[Access]) -> Tuple[float, float]:
+    """(load_bytes, store_bytes) after the reuse pass."""
+    loads = sum(a.nbytes for a in accesses if a.kind == "load" and not a.satisfied)
+    stores = sum(a.nbytes for a in accesses if a.kind == "store" and not a.satisfied)
+    return loads, stores

@@ -1,0 +1,128 @@
+"""A lightweight TensorIR-like statement representation.
+
+Merged subprogram kernels are represented as a statement list (Fig. 2 step 5
+of the paper): shared-memory allocations, global<->shared transfers, compute
+statements, predicates matching launch dimensions, and ``grid.sync()``.
+The simulator consumes the aggregate :class:`repro.gpu.kernel.KernelSpec`;
+this IR exists so kernels are inspectable and printable as pseudo-CUDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.te.tensor import Tensor
+
+
+@dataclass
+class Stmt:
+    """Base statement."""
+
+
+@dataclass
+class AllocShared(Stmt):
+    """``shared name[bytes]``."""
+
+    name: str
+    nbytes: int
+
+    def render(self) -> str:
+        return f"__shared__ uint8_t {self.name}[{self.nbytes}];"
+
+
+@dataclass
+class LoadGlobal(Stmt):
+    """ldg2s: copy a tensor (region) from global to shared memory."""
+
+    tensor: Tensor
+    nbytes: float
+    cached: bool = False  # satisfied by the software-managed reuse cache
+
+    def render(self) -> str:
+        if self.cached:
+            return f"// {self.tensor.name}: reuse hit (on-chip), 0 bytes"
+        return f"ldg2s(S_{self.tensor.name}, {self.tensor.name}, {int(self.nbytes)}B);"
+
+
+@dataclass
+class StoreGlobal(Stmt):
+    """sts2g: copy a tensor from shared memory to global."""
+
+    tensor: Tensor
+    nbytes: float
+    elided: bool = False  # value stays on-chip, never written back
+
+    def render(self) -> str:
+        if self.elided:
+            return f"// {self.tensor.name}: kept on-chip, store elided"
+        return f"sts2g({self.tensor.name}, S_{self.tensor.name}, {int(self.nbytes)}B);"
+
+
+@dataclass
+class ComputeStmt(Stmt):
+    """One TE's computation (a wmma/ffma loop nest in real code)."""
+
+    te_name: str
+    op_type: str
+    flops: float
+    tensor_core: bool = False
+    atomic: bool = False
+
+    def render(self) -> str:
+        unit = "wmma_16x16" if self.tensor_core else "ffma"
+        suffix = " + atomicAdd(global)" if self.atomic else ""
+        return f"{unit}<{self.op_type}>({self.te_name});  // {self.flops:.3g} flops{suffix}"
+
+
+@dataclass
+class GridSync(Stmt):
+    """``grid.sync()`` between stages of a merged kernel."""
+
+    def render(self) -> str:
+        return "grid.sync();"
+
+
+@dataclass
+class Predicate(Stmt):
+    """Guard for TEs whose launch dims are smaller than the kernel's."""
+
+    active_blocks: int
+    body: List[Stmt] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"if (blockIdx.x < {self.active_blocks}) {{"]
+        lines.extend("  " + stmt.render() for stmt in self.body)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class KernelFunction:
+    """A merged subprogram kernel: Fn_TE_Subprogram_k in the paper."""
+
+    name: str
+    params: List[Tensor]
+    grid_blocks: int
+    threads_per_block: int
+    shared_mem_bytes: int
+    stmts: List[Stmt] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Pseudo-CUDA rendering of the merged function."""
+        args = ", ".join(f"{p.dtype}* {p.name}" for p in self.params)
+        lines = [
+            f"__global__ void {self.name}({args})",
+            f"// launch <<<{self.grid_blocks}, {self.threads_per_block}>>> "
+            f"smem={self.shared_mem_bytes}B",
+            "{",
+        ]
+        for stmt in self.stmts:
+            rendered = stmt.render()
+            lines.extend("  " + line for line in rendered.split("\n"))
+        lines.append("}")
+        return "\n".join(lines)
+
+    @property
+    def sync_count(self) -> int:
+        return sum(1 for s in self.stmts if isinstance(s, GridSync))

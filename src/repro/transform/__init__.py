@@ -1,0 +1,38 @@
+"""Semantic-preserving TE transformations (paper Sec. 6)."""
+
+from repro.transform.horizontal import (
+    HorizontalReport,
+    horizontal_transform,
+)
+from repro.transform.semantics import (
+    EquivalenceReport,
+    assert_equivalent,
+    check_equivalent,
+    random_feeds,
+)
+from repro.transform.simplify import (
+    Interval,
+    Simplifier,
+    infer_interval,
+    ranges_for_tensor,
+    simplify_expr,
+    simplify_tensor_body,
+)
+from repro.transform.vertical import VerticalReport, vertical_transform
+
+__all__ = [
+    "EquivalenceReport",
+    "HorizontalReport",
+    "Interval",
+    "Simplifier",
+    "VerticalReport",
+    "assert_equivalent",
+    "check_equivalent",
+    "horizontal_transform",
+    "infer_interval",
+    "random_feeds",
+    "ranges_for_tensor",
+    "simplify_expr",
+    "simplify_tensor_body",
+    "vertical_transform",
+]

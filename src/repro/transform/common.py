@@ -1,0 +1,69 @@
+"""Shared machinery for program-rewriting transformations."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TransformError
+from repro.graph.te_program import TENode, TEProgram
+from repro.te.tensor import Tensor
+
+
+def toposort_nodes(
+    inputs: Sequence[Tensor], nodes: Sequence[TENode]
+) -> List[TENode]:
+    """Stable topological re-ordering of TE nodes.
+
+    Transformations may place a merged node away from where its consumers
+    sit; this restores producer-before-consumer order while preserving the
+    original relative order wherever the DAG allows (Kahn's algorithm with an
+    index-ordered frontier).
+    """
+    known_inputs = {id(t) for t in inputs}
+    producer: Dict[int, TENode] = {id(n.tensor): n for n in nodes}
+    position = {n: i for i, n in enumerate(nodes)}
+
+    indegree: Dict[TENode, int] = {}
+    dependents: Dict[TENode, List[TENode]] = {n: [] for n in nodes}
+    for node in nodes:
+        count = 0
+        for tensor in node.inputs:
+            src = producer.get(id(tensor))
+            if src is not None and src is not node:
+                count += 1
+                dependents[src].append(node)
+            elif src is None and id(tensor) not in known_inputs:
+                raise TransformError(
+                    f"TE {node.name} reads unknown tensor {tensor.name}"
+                )
+        indegree[node] = count
+
+    import heapq
+
+    frontier = [position[n] for n in nodes if indegree[n] == 0]
+    heapq.heapify(frontier)
+    by_position = list(nodes)
+    ordered: List[TENode] = []
+    while frontier:
+        node = by_position[heapq.heappop(frontier)]
+        ordered.append(node)
+        for dep in dependents[node]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                heapq.heappush(frontier, position[dep])
+    if len(ordered) != len(nodes):
+        raise TransformError("cycle introduced by transformation")
+    return ordered
+
+
+def rebuild(
+    program: TEProgram, nodes: Sequence[TENode], outputs: Sequence[Tensor]
+) -> TEProgram:
+    """Assemble a new TEProgram after a transformation, re-sorting and
+    re-indexing nodes."""
+    ordered = toposort_nodes(program.inputs, nodes)
+    renumbered = [
+        TENode(i, n.tensor, n.op_name, n.op_type) for i, n in enumerate(ordered)
+    ]
+    return TEProgram(program.name, program.inputs, renumbered, outputs)

@@ -1,0 +1,174 @@
+"""Tests for global analysis: dependence, characterisation, reuse, liveness."""
+
+import pytest
+
+from repro.analysis import (
+    COMPUTE_INTENSIVE,
+    MEMORY_INTENSIVE,
+    ONE_RELIES_ON_MANY,
+    ONE_RELIES_ON_ONE,
+    characterize_program,
+    characterize_te,
+    classify_te,
+    depends_on,
+    find_reuse,
+    independent,
+    live_ranges,
+    peak_live_bytes,
+    program_relations,
+    reachability_masks,
+    te_relations,
+)
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import build_lstm_tiny
+
+
+@pytest.fixture()
+def attention_program():
+    b = GraphBuilder("attn")
+    x = b.input((32, 64), name="x")
+    wq, wk, wv = (b.weight((64, 64)) for _ in range(3))
+    q, k, v = b.matmul(x, wq), b.matmul(x, wk), b.matmul(x, wv)
+    qk = b.matmul(q, b.transpose(k, (1, 0)))
+    sm = b.softmax(b.scale(qk, 0.125), axis=-1)
+    out = b.matmul(sm, v)
+    return lower_graph(b.build([out]))
+
+
+class TestDependenceClassification:
+    def test_gemm_is_one_relies_on_many(self, attention_program):
+        gemm = attention_program.nodes[0]
+        assert classify_te(gemm.tensor) == ONE_RELIES_ON_MANY
+
+    def test_elementwise_is_one_relies_on_one(self, attention_program):
+        scale = next(n for n in attention_program if n.op_type == "scale")
+        assert classify_te(scale.tensor) == ONE_RELIES_ON_ONE
+
+    def test_relations_have_affine_maps_for_elementwise(self, attention_program):
+        transpose = next(n for n in attention_program if n.op_type == "transpose")
+        rels = te_relations(transpose)
+        assert len(rels) == 1
+        assert rels[0].affine is not None
+        assert rels[0].kind == ONE_RELIES_ON_ONE
+
+    def test_reduce_relation_records_extents(self, attention_program):
+        gemm = attention_program.nodes[0]
+        rels = te_relations(gemm)
+        assert all(r.reduce_extents == (64,) for r in rels)
+
+    def test_polyhedral_rendering(self, attention_program):
+        gemm = attention_program.nodes[0]
+        text = te_relations(gemm)[0].to_polyhedral()
+        assert "->" in text and "0<=r0<64" in text
+
+    def test_program_relations_cover_all(self, attention_program):
+        rels = program_relations(attention_program)
+        assert set(rels) == set(attention_program.nodes)
+
+
+class TestReachability:
+    def test_chain_dependence(self, attention_program):
+        masks = reachability_masks(attention_program)
+        first, last = attention_program.nodes[0], attention_program.nodes[-1]
+        assert depends_on(masks, last, first)
+        assert not depends_on(masks, first, last)
+
+    def test_qkv_matmuls_independent(self, attention_program):
+        masks = reachability_masks(attention_program)
+        x = attention_program.inputs[0]
+        qkv = [
+            n for n in attention_program
+            if n.op_type == "matmul" and any(t is x for t in n.inputs)
+        ]
+        assert len(qkv) == 3
+        assert independent(masks, qkv[0], qkv[1])
+        assert independent(masks, qkv[1], qkv[2])
+
+
+class TestCharacterisation:
+    def test_gemm_is_compute_intensive(self, attention_program):
+        chars = characterize_program(attention_program)
+        gemm = attention_program.nodes[0]
+        assert chars[gemm].kind == COMPUTE_INTENSIVE
+        assert chars[gemm].ratio >= 3
+
+    def test_elementwise_ops_memory_intensive(self, attention_program):
+        chars = characterize_program(attention_program)
+        for node in attention_program:
+            if node.op_type in ("scale", "transpose", "softmax"):
+                assert chars[node].kind == MEMORY_INTENSIVE, node.name
+
+    def test_gemv_memory_intensive(self):
+        """K=8 GEMV has arithmetic intensity below 3 (paper threshold)."""
+        b = GraphBuilder("gv")
+        m, v = b.input((64, 8)), b.input((8,))
+        program = lower_graph(b.build([b.gemv(m, v)]))
+        char = characterize_te(program.nodes[0])
+        assert char.kind == MEMORY_INTENSIVE
+
+    def test_memoised_matches_direct(self, attention_program):
+        chars = characterize_program(attention_program)
+        for node in attention_program:
+            direct = characterize_te(node)
+            assert direct.kind == chars[node].kind
+            assert direct.ratio == pytest.approx(chars[node].ratio)
+
+    def test_threshold_parameter(self, attention_program):
+        relaxed = characterize_program(attention_program, threshold=0.01)
+        scale = next(n for n in attention_program if n.op_type == "scale")
+        # A lower threshold flips arithmetic elementwise TEs to CI; pure
+        # memory movement (zero data arithmetic) stays memory-intensive.
+        assert relaxed[scale].kind == COMPUTE_INTENSIVE
+
+
+class TestReuse:
+    def test_qkv_spatial_reuse(self, attention_program):
+        reuse = find_reuse(attention_program)
+        spatial_names = {o.tensor.name for o in reuse.spatial}
+        assert "x" in spatial_names
+
+    def test_softmax_temporal_reuse(self, attention_program):
+        reuse = find_reuse(attention_program)
+        temporal = {o.tensor.name for o in reuse.temporal}
+        # exp feeds both the sum reduction and the final division.
+        assert any("exp" in name for name in temporal)
+
+    def test_lstm_recurrent_weights_temporal(self):
+        """The recurrent U weights are consumed by dependent GEMVs (chained
+        through h across time) — temporal reuse; the input-side W weights of
+        the first cell are consumed by independent GEMVs — spatial reuse."""
+        program = lower_graph(build_lstm_tiny())
+        reuse = find_reuse(program)
+        temporal = {o.tensor.name for o in reuse.temporal}
+        spatial = {o.tensor.name for o in reuse.spatial}
+        assert any(name.endswith("_U") for name in temporal)
+        assert "cell0_W" in spatial
+
+    def test_sharing_set_structure(self, attention_program):
+        reuse = find_reuse(attention_program)
+        sharing = reuse.sharing_set()
+        assert len(sharing["x"]) == 3
+
+
+class TestLiveness:
+    def test_ranges_well_formed(self, attention_program):
+        ranges = live_ranges(attention_program)
+        for lr in ranges.values():
+            assert lr.last_use >= lr.def_index
+
+    def test_output_live_to_end(self, attention_program):
+        ranges = live_ranges(attention_program)
+        out = attention_program.outputs[0]
+        assert ranges[out].last_use == len(attention_program)
+
+    def test_placeholder_live_from_start(self, attention_program):
+        ranges = live_ranges(attention_program)
+        assert ranges[attention_program.inputs[0]].def_index == -1
+
+    def test_peak_live_positive(self, attention_program):
+        assert peak_live_bytes(attention_program) > 0
+
+    def test_overlap_logic(self, attention_program):
+        ranges = list(live_ranges(attention_program).values())
+        for lr in ranges:
+            assert lr.overlaps(lr)

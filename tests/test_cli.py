@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_level_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "bert", "--level", "9"])
+
+
+class TestCommands:
+    def test_compile_mmoe(self, capsys):
+        assert main(["compile", "mmoe", "--level", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "compile phases" in out
+
+    def test_compare_mmoe(self, capsys):
+        assert main(["compare", "mmoe"]) == 0
+        out = capsys.readouterr().out
+        assert "souffle" in out and "tensorrt" in out
+
+    def test_kernels_mmoe(self, capsys):
+        assert main(["kernels", "mmoe", "--limit", "1"]) == 0
+        assert "__global__" in capsys.readouterr().out
+
+    def test_memory_mmoe(self, capsys):
+        assert main(["memory", "mmoe"]) == 0
+        assert "workspace" in capsys.readouterr().out
+
+    def test_export_and_reimport(self, tmp_path, capsys):
+        path = str(tmp_path / "mmoe.json")
+        assert main(["export", "mmoe", path]) == 0
+        assert main(["compile", path, "--level", "2"]) == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "alexnet"])

@@ -1,0 +1,87 @@
+"""Tests for dynamic-shape multi-version dispatch (paper Sec. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graph import GraphBuilder
+from repro.runtime.dispatch import ShapeDispatcher
+
+
+def mlp_builder(seq_len: int):
+    """A row-wise MLP whose rows are independent — safe under zero padding."""
+    b = GraphBuilder(f"mlp_{seq_len}")
+    x = b.input((seq_len, 16), name="x")
+    w1 = b.weight((16, 32), name="w1")
+    w2 = b.weight((32, 8), name="w2")
+    return b.build([b.matmul(b.relu(b.matmul(x, w1)), w2)])
+
+
+@pytest.fixture()
+def dispatcher():
+    return ShapeDispatcher(
+        mlp_builder, buckets=[8, 16, 32], dynamic_inputs=["x"], level=2
+    )
+
+
+def feeds_for(seq_len, rng):
+    return {
+        "x": rng.standard_normal((seq_len, 16)),
+        "w1": rng.standard_normal((16, 32)),
+        "w2": rng.standard_normal((32, 8)),
+    }
+
+
+class TestSelection:
+    def test_exact_bucket(self, dispatcher):
+        assert dispatcher.select_bucket(16) == 16
+
+    def test_rounds_up(self, dispatcher):
+        assert dispatcher.select_bucket(9) == 16
+
+    def test_too_large_rejected(self, dispatcher):
+        with pytest.raises(ExecutionError):
+            dispatcher.select_bucket(64)
+
+    def test_buckets_deduplicated_sorted(self):
+        d = ShapeDispatcher(mlp_builder, [32, 8, 8], ["x"], level=0)
+        assert d.buckets == [8, 32]
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ExecutionError):
+            ShapeDispatcher(mlp_builder, [], ["x"])
+
+
+class TestExecution:
+    def test_exact_shape_runs_unpadded(self, dispatcher):
+        rng = np.random.default_rng(0)
+        (out,) = dispatcher.run(feeds_for(16, rng))
+        assert out.shape == (16, 8)
+        assert dispatcher.history[-1].padded is False
+
+    def test_padded_shape_matches_direct_compile(self, dispatcher):
+        rng = np.random.default_rng(1)
+        feeds = feeds_for(11, rng)
+        (out,) = dispatcher.run(feeds)
+        assert out.shape == (11, 8)
+        assert dispatcher.history[-1].bucket == 16
+
+        # Reference: the same weights on an exactly-sized model.
+        ref = feeds["x"] @ feeds["w1"]
+        ref = np.maximum(ref, 0) @ feeds["w2"]
+        assert np.allclose(out, ref, atol=1e-8)
+
+    def test_modules_cached_per_bucket(self, dispatcher):
+        rng = np.random.default_rng(2)
+        dispatcher.run(feeds_for(7, rng))
+        dispatcher.run(feeds_for(8, rng))
+        dispatcher.run(feeds_for(30, rng))
+        assert dispatcher.compiled_buckets == [8, 32]
+
+    def test_compile_all_warms_every_bucket(self, dispatcher):
+        dispatcher.compile_all()
+        assert dispatcher.compiled_buckets == [8, 16, 32]
+
+    def test_missing_dynamic_input_rejected(self, dispatcher):
+        with pytest.raises(ExecutionError):
+            dispatcher.run({"w1": np.zeros((16, 32))})

@@ -1,0 +1,61 @@
+"""Tests for the error hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "TEError", "LoweringError", "AnalysisError", "TransformError",
+            "ScheduleError", "ResourceError", "CodegenError", "ExecutionError",
+            "UnsupportedOperatorError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_unsupported_operator_is_lowering_error(self):
+        assert issubclass(errors.UnsupportedOperatorError, errors.LoweringError)
+
+    def test_resource_is_schedule_error(self):
+        assert issubclass(errors.ResourceError, errors.ScheduleError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CodegenError("boom")
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.frontends
+        import repro.gpu
+        import repro.graph
+        import repro.models
+        import repro.runtime
+        import repro.schedule
+        import repro.te
+        import repro.tir
+
+        for module in (
+            repro.analysis, repro.core, repro.gpu, repro.graph,
+            repro.models, repro.runtime, repro.schedule, repro.te, repro.tir,
+            repro.frontends,
+        ):
+            exported = getattr(module, "__all__", [])
+            for name in exported:
+                assert getattr(module, name) is not None, (module.__name__, name)
+
+    def test_compile_model_docstring_contract(self):
+        assert "V0..V4" in repro.compile_model.__doc__

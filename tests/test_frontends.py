@@ -1,0 +1,124 @@
+"""Tests for the JSON graph interchange frontend."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import LoweringError
+from repro.frontends import (
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads,
+    save_graph,
+)
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import TINY_MODELS
+from repro.te import evaluate_many
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    def test_all_models_round_trip_structurally(self, name):
+        graph = TINY_MODELS[name]()
+        restored = loads(dumps(graph))
+        assert restored.name == graph.name
+        assert len(restored.nodes) == len(graph.nodes)
+        assert [n.name for n in restored.outputs] == [
+            n.name for n in graph.outputs
+        ]
+        assert restored.op_counts() == graph.op_counts()
+
+    def test_round_trip_preserves_semantics(self):
+        graph = TINY_MODELS["mmoe"]()
+        restored = loads(dumps(graph))
+        p1, p2 = lower_graph(graph), lower_graph(restored)
+        rng = np.random.default_rng(9)
+        feeds1 = {t: rng.standard_normal(t.shape) for t in p1.inputs}
+        by_name = {t.name: v for t, v in feeds1.items()}
+        feeds2 = {t: by_name[t.name] for t in p2.inputs}
+        out1 = evaluate_many(p1.outputs, feeds1)
+        out2 = evaluate_many(p2.outputs, feeds2)
+        for a, b in zip(p1.outputs, p2.outputs):
+            assert np.allclose(out1[a], out2[b])
+
+    def test_attrs_tuples_restored(self):
+        b = GraphBuilder("a")
+        x = b.input((2, 3, 4))
+        graph = b.build([b.transpose(x, (2, 0, 1))])
+        restored = loads(dumps(graph))
+        transpose = next(n for n in restored.nodes if n.op_type == "transpose")
+        assert transpose.attrs["perm"] == (2, 0, 1)
+        assert isinstance(transpose.attrs["perm"], tuple)
+
+    def test_nested_attr_tuples(self):
+        b = GraphBuilder("p")
+        x = b.input((2, 3))
+        graph = b.build([b.pad(x, [(1, 1), (0, 2)])])
+        restored = loads(dumps(graph))
+        pad = next(n for n in restored.nodes if n.op_type == "pad")
+        assert pad.attrs["pad_width"] == ((1, 1), (0, 2))
+
+    def test_file_round_trip(self, tmp_path):
+        graph = TINY_MODELS["lstm"]()
+        path = tmp_path / "model.json"
+        save_graph(graph, str(path))
+        restored = load_graph(str(path))
+        assert len(restored.nodes) == len(graph.nodes)
+
+    def test_document_is_plain_json(self):
+        graph = TINY_MODELS["bert"]()
+        json.loads(dumps(graph))  # must not raise
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(LoweringError):
+            graph_from_dict({"format": "onnx", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(LoweringError):
+            graph_from_dict({"format": "repro-graph", "version": 99})
+
+    def test_rejects_unknown_input_reference(self):
+        document = {
+            "format": "repro-graph", "version": 1, "name": "bad",
+            "nodes": [
+                {"name": "y", "op": "relu", "shape": [2], "dtype": "float32",
+                 "inputs": ["ghost"], "attrs": {}},
+            ],
+            "outputs": ["y"],
+        }
+        with pytest.raises(LoweringError):
+            graph_from_dict(document)
+
+    def test_rejects_unknown_output(self):
+        document = {
+            "format": "repro-graph", "version": 1, "name": "bad",
+            "nodes": [
+                {"name": "x", "op": "input", "shape": [2], "dtype": "float32",
+                 "inputs": [], "attrs": {}},
+            ],
+            "outputs": ["ghost"],
+        }
+        with pytest.raises(LoweringError):
+            graph_from_dict(document)
+
+    def test_rejects_duplicate_names(self):
+        node = {"name": "x", "op": "input", "shape": [2],
+                "dtype": "float32", "inputs": [], "attrs": {}}
+        document = {
+            "format": "repro-graph", "version": 1, "name": "bad",
+            "nodes": [node, dict(node)], "outputs": ["x"],
+        }
+        with pytest.raises(LoweringError):
+            graph_from_dict(document)
+
+    def test_loaded_graph_compiles(self):
+        from repro import compile_model
+
+        graph = loads(dumps(TINY_MODELS["efficientnet"]()))
+        module = compile_model(graph, level=4)
+        assert module.kernel_calls >= 1

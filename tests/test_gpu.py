@@ -1,0 +1,138 @@
+"""Tests for the device model and analytic simulator."""
+
+import pytest
+
+from repro.gpu import GPUSimulator, KernelSpec, a100_40gb, v100_16gb
+
+
+@pytest.fixture()
+def device():
+    return a100_40gb()
+
+
+@pytest.fixture()
+def sim(device):
+    return GPUSimulator(device)
+
+
+class TestDeviceModel:
+    def test_blocks_per_sm_thread_bound(self, device):
+        assert device.blocks_per_sm(1024, 0) == 2
+
+    def test_blocks_per_sm_smem_bound(self, device):
+        assert device.blocks_per_sm(128, 96 * 1024) == 1
+
+    def test_blocks_per_sm_register_bound(self, device):
+        assert device.blocks_per_sm(256, 0, regs_per_thread=128) == 2
+
+    def test_max_blocks_per_wave(self, device):
+        per_sm = device.blocks_per_sm(256, 8 * 1024)
+        assert device.max_blocks_per_wave(256, 8 * 1024) == 108 * per_sm
+
+    def test_peaks(self, device):
+        assert device.peak_flops(True) > device.peak_flops(False)
+        assert device.bandwidth_bytes == pytest.approx(1555e9)
+
+    def test_total_shared(self, device):
+        assert device.total_shared_mem == 108 * 164 * 1024
+
+    def test_v100_is_smaller(self, device):
+        v100 = v100_16gb()
+        assert v100.fp16_tensor_tflops < device.fp16_tensor_tflops
+        assert v100.sm_count < device.sm_count
+
+
+def _kernel(**kw):
+    base = dict(name="k", grid_blocks=108, threads_per_block=256)
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+class TestKernelCost:
+    def test_launch_overhead_floor(self, sim, device):
+        m = sim.run_kernel(_kernel())
+        assert m.time_us >= device.kernel_launch_us
+
+    def test_more_bytes_more_time(self, sim):
+        t1 = sim.run_kernel(_kernel(load_bytes=1e6)).time_us
+        t2 = sim.run_kernel(_kernel(load_bytes=1e8)).time_us
+        assert t2 > t1
+
+    def test_more_flops_more_time(self, sim):
+        t1 = sim.run_kernel(_kernel(fp32_flops=1e8)).time_us
+        t2 = sim.run_kernel(_kernel(fp32_flops=1e10)).time_us
+        assert t2 > t1
+
+    def test_tensor_core_faster_than_cuda_core(self, sim):
+        t16 = sim.run_kernel(_kernel(fp16_flops=1e10)).time_us
+        t32 = sim.run_kernel(_kernel(fp32_flops=1e10)).time_us
+        assert t16 < t32
+
+    def test_pipelining_helps_balanced_kernels(self, sim):
+        flops, nbytes = 5e9, 5e8
+        plain = sim.run_kernel(_kernel(fp32_flops=flops, load_bytes=nbytes))
+        piped = sim.run_kernel(
+            _kernel(fp32_flops=flops, load_bytes=nbytes, pipelined=True)
+        )
+        assert piped.time_us < plain.time_us
+
+    def test_small_grid_underutilises_compute(self, sim):
+        full = sim.run_kernel(_kernel(fp32_flops=1e9, grid_blocks=108))
+        tiny = sim.run_kernel(_kernel(fp32_flops=1e9, grid_blocks=4))
+        assert tiny.compute_time_us > full.compute_time_us
+
+    def test_grid_sync_costs(self, sim, device):
+        plain = sim.run_kernel(_kernel(load_bytes=1e6))
+        synced = sim.run_kernel(_kernel(load_bytes=1e6, grid_syncs=10))
+        assert synced.time_us == pytest.approx(
+            plain.time_us + 10 * device.grid_sync_us
+        )
+
+    def test_atomic_traffic_counted(self, sim):
+        t0 = sim.run_kernel(_kernel(load_bytes=1e6)).time_us
+        t1 = sim.run_kernel(_kernel(load_bytes=1e6, atomic_bytes=1e8)).time_us
+        assert t1 > t0
+
+    def test_efficiency_override(self, sim):
+        fast = sim.run_kernel(_kernel(fp32_flops=1e10, compute_efficiency=0.9))
+        slow = sim.run_kernel(_kernel(fp32_flops=1e10, compute_efficiency=0.1))
+        assert slow.compute_time_us > fast.compute_time_us * 5
+
+    def test_min_memory_latency_floor(self, sim):
+        m = sim.run_kernel(_kernel(load_bytes=16))
+        assert m.memory_time_us >= 1.0
+
+    def test_utilizations_bounded(self, sim):
+        m = sim.run_kernel(_kernel(load_bytes=1e7, fp32_flops=1e9))
+        assert 0 <= m.lsu_utilization <= 1
+        assert 0 <= m.fma_utilization <= 1
+
+    def test_empty_launch_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", grid_blocks=0, threads_per_block=128)
+
+
+class TestModuleMetrics:
+    def test_module_aggregates(self, sim, device):
+        kernels = [_kernel(load_bytes=1e6, store_bytes=5e5) for _ in range(4)]
+        metrics = sim.run_module(kernels)
+        assert metrics.kernel_calls == 4
+        assert metrics.load_bytes == pytest.approx(4e6)
+        assert metrics.store_bytes == pytest.approx(2e6)
+        assert metrics.launch_overhead_us == pytest.approx(
+            4 * device.kernel_launch_us
+        )
+        assert metrics.total_time_ms == pytest.approx(
+            metrics.total_time_us / 1e3
+        )
+
+    def test_kernel_launches_dominate_tiny_kernels(self, sim, device):
+        """Why fusion matters for MMoE: launch overhead dominates."""
+        many = sim.run_module([_kernel(load_bytes=1e4) for _ in range(50)])
+        one = sim.run_module([_kernel(load_bytes=50e4)])
+        assert many.total_time_us > one.total_time_us
+
+    def test_mean_utilization(self, sim):
+        metrics = sim.run_module([_kernel(load_bytes=1e8)])
+        util = metrics.mean_utilization()
+        assert util["lsu"] > util["fma"]

@@ -1,0 +1,128 @@
+"""Tests for the graph builder and Graph container."""
+
+import pytest
+
+from repro.errors import AnalysisError, LoweringError
+from repro.graph import Graph, GraphBuilder
+from repro.graph.op import OpNode
+
+
+@pytest.fixture()
+def builder():
+    return GraphBuilder("test")
+
+
+class TestSources:
+    def test_input_and_weight(self, builder):
+        x = builder.input((2, 3), name="x")
+        w = builder.weight((3, 4))
+        assert x.op_type == "input" and x.shape == (2, 3)
+        assert w.op_type == "weight"
+
+    def test_unknown_op_type_rejected(self):
+        with pytest.raises(LoweringError):
+            OpNode("quantum_fft", [], (2,))
+
+
+class TestComputeOps:
+    def test_matmul_shapes(self, builder):
+        x = builder.input((2, 3))
+        w = builder.weight((3, 4))
+        y = builder.matmul(x, w)
+        assert y.shape == (2, 4)
+
+    def test_dense_adds_bias(self, builder):
+        x = builder.input((2, 3))
+        w = builder.weight((3, 4))
+        b = builder.weight((4,))
+        y = builder.dense(x, w, b)
+        assert y.op_type == "bias_add" and y.shape == (2, 4)
+
+    def test_gemv(self, builder):
+        m = builder.input((5, 3))
+        v = builder.input((3,))
+        assert builder.gemv(m, v).shape == (5,)
+
+    def test_gemv_shape_mismatch(self, builder):
+        m = builder.input((5, 3))
+        v = builder.input((4,))
+        with pytest.raises(LoweringError):
+            builder.gemv(m, v)
+
+    def test_conv_attrs(self, builder):
+        x = builder.input((1, 3, 8, 8))
+        w = builder.weight((8, 3, 3, 3))
+        y = builder.conv2d(x, w, stride=2, padding=1)
+        assert y.attrs["stride"] == 2 and y.shape == (1, 8, 4, 4)
+
+
+class TestMemoryOps:
+    def test_reshape_noop_returns_same_node(self, builder):
+        x = builder.input((2, 3))
+        assert builder.reshape(x, (2, 3)) is x
+
+    def test_reshape_infers(self, builder):
+        x = builder.input((2, 6))
+        assert builder.reshape(x, (3, -1)).shape == (3, 4)
+
+    def test_concat_normalises_axis(self, builder):
+        a = builder.input((2, 3))
+        b = builder.input((2, 5))
+        y = builder.concat([a, b], axis=-1)
+        assert y.shape == (2, 8) and y.attrs["axis"] == 1
+
+    def test_bias_shape_checked(self, builder):
+        x = builder.input((2, 3))
+        b = builder.weight((2,))
+        with pytest.raises(LoweringError):
+            builder.bias_add(x, b)
+
+    def test_layernorm_param_shapes_checked(self, builder):
+        x = builder.input((2, 8))
+        g = builder.weight((4,))
+        with pytest.raises(LoweringError):
+            builder.layernorm(x, g, g)
+
+
+class TestGraph:
+    def test_topological_order(self, builder):
+        x = builder.input((2, 3))
+        w = builder.weight((3, 3))
+        y = builder.relu(builder.matmul(x, w))
+        graph = builder.build([y])
+        positions = {n: i for i, n in enumerate(graph.nodes)}
+        for node in graph.nodes:
+            for parent in node.inputs:
+                assert positions[parent] < positions[node]
+
+    def test_only_reachable_nodes_kept(self, builder):
+        x = builder.input((2, 3))
+        builder.relu(x)  # dangling op, not an output ancestor
+        y = builder.sigmoid(x)
+        graph = builder.build([y])
+        assert all(n.op_type != "relu" for n in graph.nodes)
+
+    def test_consumers(self, builder):
+        x = builder.input((2, 3))
+        a = builder.relu(x)
+        b = builder.sigmoid(x)
+        graph = builder.build([a, b])
+        assert set(graph.consumers(x)) == {a, b}
+
+    def test_op_counts(self, builder):
+        x = builder.input((2, 3))
+        y = builder.relu(builder.relu(x))
+        graph = builder.build([y])
+        assert graph.op_counts()["relu"] == 2
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            Graph([])
+
+    def test_diamond_dependency(self, builder):
+        x = builder.input((2, 3))
+        a = builder.relu(x)
+        b = builder.sigmoid(x)
+        y = builder.add(a, b)
+        graph = builder.build([y])
+        assert len(graph.operators) == 3

@@ -1,0 +1,145 @@
+"""Unit + property tests for shape inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LoweringError
+from repro.graph import shapes as S
+
+
+class TestBroadcast:
+    def test_equal_shapes(self):
+        assert S.broadcast_shapes((4, 5), (4, 5)) == (4, 5)
+
+    def test_ones_expand(self):
+        assert S.broadcast_shapes((4, 1), (1, 5)) == (4, 5)
+
+    def test_rank_extension(self):
+        assert S.broadcast_shapes((3, 4, 5), (5,)) == (3, 4, 5)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(LoweringError):
+            S.broadcast_shapes((4, 5), (4, 6))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=4),
+        st.lists(st.integers(1, 4), min_size=1, max_size=4),
+    )
+    def test_matches_numpy(self, a, b):
+        try:
+            ours = S.broadcast_shapes(tuple(a), tuple(b))
+        except LoweringError:
+            with pytest.raises(ValueError):
+                np.broadcast_shapes(tuple(a), tuple(b))
+            return
+        assert ours == np.broadcast_shapes(tuple(a), tuple(b))
+
+
+class TestMatmul:
+    def test_matmul(self):
+        assert S.matmul_shape((4, 8), (8, 3)) == (4, 3)
+
+    def test_matmul_inner_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.matmul_shape((4, 8), (7, 3))
+
+    def test_batch_matmul(self):
+        assert S.batch_matmul_shape((2, 4, 8), (2, 8, 3)) == (2, 4, 3)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.batch_matmul_shape((2, 4, 8), (3, 8, 3))
+
+
+class TestConv:
+    def test_basic(self):
+        assert S.conv2d_shape((1, 3, 8, 8), (16, 3, 3, 3), 1, 1) == (1, 16, 8, 8)
+
+    def test_stride(self):
+        assert S.conv2d_shape((1, 3, 8, 8), (16, 3, 3, 3), 2, 1) == (1, 16, 4, 4)
+
+    def test_grouped(self):
+        assert S.conv2d_shape((1, 8, 8, 8), (16, 2, 3, 3), 1, 1, groups=4) == (
+            1, 16, 8, 8,
+        )
+
+    def test_group_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.conv2d_shape((1, 8, 8, 8), (16, 3, 3, 3), 1, 1, groups=4)
+
+    def test_collapse_rejected(self):
+        with pytest.raises(LoweringError):
+            S.conv2d_shape((1, 3, 2, 2), (4, 3, 5, 5), 1, 0)
+
+    def test_depthwise(self):
+        assert S.depthwise_conv2d_shape((1, 8, 8, 8), (8, 1, 3, 3), 1, 1) == (
+            1, 8, 8, 8,
+        )
+
+    def test_depthwise_channel_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.depthwise_conv2d_shape((1, 8, 8, 8), (4, 1, 3, 3), 1, 1)
+
+    def test_pool(self):
+        assert S.pool2d_shape((1, 8, 9, 9), 3, 2, 0) == (1, 8, 4, 4)
+
+
+class TestReshape:
+    def test_explicit(self):
+        assert S.reshape_shape((4, 6), (2, 12)) == (2, 12)
+
+    def test_minus_one(self):
+        assert S.reshape_shape((4, 6), (2, -1)) == (2, 12)
+
+    def test_count_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.reshape_shape((4, 6), (5, 5))
+
+    def test_two_minus_ones(self):
+        with pytest.raises(LoweringError):
+            S.reshape_shape((4, 6), (-1, -1))
+
+
+class TestSliceConcatTransposeReduce:
+    def test_transpose(self):
+        assert S.transpose_shape((2, 3, 4), (2, 0, 1)) == (4, 2, 3)
+
+    def test_transpose_bad_perm(self):
+        with pytest.raises(LoweringError):
+            S.transpose_shape((2, 3), (0, 0))
+
+    def test_slice(self):
+        assert S.slice_shape((8, 8), (0, 2), (8, 6)) == (8, 4)
+
+    def test_strided_slice(self):
+        assert S.slice_shape((8,), (0,), (8,), (2,)) == (4,)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(LoweringError):
+            S.slice_shape((8,), (0,), (9,))
+
+    def test_concat(self):
+        assert S.concat_shape([(2, 3), (4, 3)], axis=0) == (6, 3)
+
+    def test_concat_negative_axis(self):
+        assert S.concat_shape([(2, 3), (2, 5)], axis=-1) == (2, 8)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(LoweringError):
+            S.concat_shape([(2, 3), (4, 4)], axis=0)
+
+    def test_reduce_keepdims(self):
+        assert S.reduce_shape((2, 3, 4), (1,), True) == (2, 1, 4)
+
+    def test_reduce_drop(self):
+        assert S.reduce_shape((2, 3, 4), (0, 2), False) == (3,)
+
+    def test_reduce_all_gives_scalar_vector(self):
+        assert S.reduce_shape((2, 3), (0, 1), False) == (1,)
+
+    def test_reduce_duplicate_axis(self):
+        with pytest.raises(LoweringError):
+            S.reduce_shape((2, 3), (0, 0), False)

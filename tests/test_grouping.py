@@ -1,0 +1,155 @@
+"""Tests for kernel-grouping strategies (Souffle V0-V2 modes + baselines)."""
+
+import pytest
+
+from repro.analysis import characterize_program
+from repro.core import (
+    ANSOR_RULES,
+    APOLLO_RULES,
+    XLA_RULES,
+    epilogue_groups,
+    singleton_groups,
+    wavefront_merge,
+)
+from repro.core.grouping import TENSORRT_RULES
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import build_lstm_tiny
+
+
+def bert_layerish():
+    # 128 rows: softmax reductions stay row-wise (not two-phase/atomic), as
+    # in BERT-sized tensors, so composite fusion is legal for TensorRT.
+    b = GraphBuilder("layer")
+    x = b.input((128, 128), name="x")
+    w = b.weight((128, 128))
+    y = b.relu(b.matmul(x, w))
+    sm = b.softmax(y, axis=-1)
+    out = b.matmul(sm, b.weight((128, 128)))
+    program = lower_graph(b.build([out]))
+    return program, characterize_program(program)
+
+
+def find(program, predicate):
+    return next(n for n in program if predicate(n))
+
+
+def group_index(groups, node):
+    for index, group in enumerate(groups):
+        if node in group:
+            return index
+    raise AssertionError(node.name)
+
+
+class TestSingleton:
+    def test_one_kernel_per_te(self):
+        program, _ = bert_layerish()
+        groups = singleton_groups(program)
+        assert len(groups) == len(program)
+        assert all(len(g) == 1 for g in groups)
+
+
+class TestEpilogueRules:
+    def test_ansor_fuses_relu_into_gemm(self):
+        program, chars = bert_layerish()
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        gemm = group_index(groups, program.nodes[0])
+        relu = group_index(groups, find(program, lambda n: n.op_type == "relu"))
+        assert gemm == relu
+
+    def test_xla_keeps_gemm_alone(self):
+        program, chars = bert_layerish()
+        groups = epilogue_groups(program, chars, XLA_RULES)
+        gemm = group_index(groups, program.nodes[0])
+        relu = group_index(groups, find(program, lambda n: n.op_type == "relu"))
+        assert gemm != relu
+
+    def test_apollo_only_elementwise_chains(self):
+        program, chars = bert_layerish()
+        ansor = epilogue_groups(program, chars, ANSOR_RULES)
+        apollo = epilogue_groups(program, chars, APOLLO_RULES)
+        assert len(apollo) > len(ansor)
+
+    def test_tensorrt_composite_fuses_softmax(self):
+        program, chars = bert_layerish()
+        groups = epilogue_groups(program, chars, TENSORRT_RULES)
+        softmax_nodes = [n for n in program if n.op_type == "softmax"]
+        assert len(softmax_nodes) == 4
+        indices = {group_index(groups, n) for n in softmax_nodes}
+        assert len(indices) == 1
+
+    def test_ansor_splits_softmax_at_second_reduce(self):
+        program, chars = bert_layerish()
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        a = group_index(groups, find(program, lambda n: n.name.endswith("_max")))
+        c = group_index(groups, find(program, lambda n: n.name.endswith("_sum")))
+        assert a != c
+
+    def test_groups_partition_the_program(self):
+        program, chars = bert_layerish()
+        for rules in (ANSOR_RULES, XLA_RULES, APOLLO_RULES, TENSORRT_RULES):
+            groups = epilogue_groups(program, chars, rules)
+            nodes = [n for g in groups for n in g]
+            assert sorted(n.index for n in nodes) == list(range(len(program)))
+
+    def test_kernel_order_respects_dependencies(self):
+        program, chars = bert_layerish()
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        position = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                position[node] = index
+        for node in program:
+            for producer in program.node_producers(node):
+                assert position[producer] <= position[node]
+
+
+class TestPrologue:
+    def test_transpose_folds_into_consumer_gemm(self):
+        b = GraphBuilder("pro")
+        x = b.input((32, 32), name="x")
+        w = b.weight((32, 32))
+        wt = b.transpose(w, (1, 0))
+        out = b.matmul(x, wt)
+        program = lower_graph(b.build([out]))
+        chars = characterize_program(program)
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        assert len(groups) == 1
+
+    def test_xla_cannot_fold_into_library_gemm(self):
+        b = GraphBuilder("pro")
+        x = b.input((32, 32), name="x")
+        wt = b.transpose(b.weight((32, 32)), (1, 0))
+        program = lower_graph(b.build([b.matmul(x, wt)]))
+        chars = characterize_program(program)
+        groups = epilogue_groups(program, chars, XLA_RULES)
+        assert len(groups) == 2
+
+
+class TestWavefront:
+    def test_independent_groups_merge_by_level(self):
+        program = lower_graph(build_lstm_tiny())
+        chars = characterize_program(program)
+        groups = epilogue_groups(program, chars, ANSOR_RULES)
+        merged = wavefront_merge(program, groups)
+        assert len(merged) < len(groups)
+        nodes = [n for g in merged for n in g]
+        assert len(nodes) == len(program)
+
+    def test_merged_levels_are_syncfree(self):
+        from repro.gpu import a100_40gb
+        from repro.schedule import AnsorScheduler
+        from repro.tir import build_kernel
+
+        program = lower_graph(build_lstm_tiny())
+        chars = characterize_program(program)
+        device = a100_40gb()
+        scheduler = AnsorScheduler(device)
+        merged = wavefront_merge(
+            program, epilogue_groups(program, chars, ANSOR_RULES)
+        )
+        for index, group in enumerate(merged):
+            kernel = build_kernel(
+                f"w{index}", group, program, chars, {}, scheduler, device,
+                allow_sync=False,
+            )
+            assert kernel.spec.grid_syncs == 0

@@ -1,0 +1,231 @@
+"""Every lowering rule validated numerically against numpy references."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.errors import UnsupportedOperatorError
+from repro.graph import GraphBuilder, lower_graph
+from repro.graph.op import OpNode
+from repro.te import evaluate_many
+
+
+def run(graph, *arrays):
+    program = lower_graph(graph)
+    feeds = dict(zip(program.inputs, arrays))
+    outs = evaluate_many(program.outputs, feeds)
+    return [outs[t] for t in program.outputs]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestComputeOps:
+    def test_matmul(self, rng):
+        b = GraphBuilder("m")
+        x, w = b.input((3, 4)), b.weight((4, 5))
+        g = b.build([b.matmul(x, w)])
+        xa, wa = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        (out,) = run(g, xa, wa)
+        assert np.allclose(out, xa @ wa)
+
+    def test_batch_matmul(self, rng):
+        b = GraphBuilder("bm")
+        x, y = b.input((2, 3, 4)), b.input((2, 4, 5))
+        g = b.build([b.batch_matmul(x, y)])
+        xa, ya = rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4, 5))
+        (out,) = run(g, xa, ya)
+        assert np.allclose(out, xa @ ya)
+
+    def test_gemv(self, rng):
+        b = GraphBuilder("gv")
+        m, v = b.input((5, 4)), b.input((4,))
+        g = b.build([b.gemv(m, v)])
+        ma, va = rng.standard_normal((5, 4)), rng.standard_normal(4)
+        (out,) = run(g, ma, va)
+        assert np.allclose(out, ma @ va)
+
+    def test_depthwise_conv(self, rng):
+        b = GraphBuilder("dw")
+        x = b.input((1, 3, 6, 6))
+        w = b.weight((3, 1, 3, 3))
+        g = b.build([b.depthwise_conv2d(x, w, stride=1, padding=1)])
+        xa = rng.standard_normal((1, 3, 6, 6))
+        wa = rng.standard_normal((3, 1, 3, 3))
+        (out,) = run(g, xa, wa)
+        xp = np.pad(xa, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(xa)
+        for c in range(3):
+            for i in range(6):
+                for j in range(6):
+                    ref[0, c, i, j] = (xp[0, c, i:i + 3, j:j + 3] * wa[c, 0]).sum()
+        assert np.allclose(out, ref)
+
+
+class TestElementwise:
+    def test_broadcast_add(self, rng):
+        b = GraphBuilder("ba")
+        x, y = b.input((3, 4)), b.input((4,))
+        g = b.build([b.add(x, y)])
+        xa, ya = rng.standard_normal((3, 4)), rng.standard_normal(4)
+        (out,) = run(g, xa, ya)
+        assert np.allclose(out, xa + ya)
+
+    def test_broadcast_middle_one(self, rng):
+        b = GraphBuilder("bm1")
+        x, y = b.input((3, 1, 4)), b.input((3, 2, 4))
+        g = b.build([b.mul(x, y)])
+        xa = rng.standard_normal((3, 1, 4))
+        ya = rng.standard_normal((3, 2, 4))
+        (out,) = run(g, xa, ya)
+        assert np.allclose(out, xa * ya)
+
+    def test_swish(self, rng):
+        b = GraphBuilder("sw")
+        x = b.input((4,))
+        g = b.build([b.swish(x)])
+        xa = rng.standard_normal(4)
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa / (1 + np.exp(-xa)))
+
+    def test_relu6_and_clip(self, rng):
+        b = GraphBuilder("c")
+        x = b.input((6,))
+        g = b.build([b.relu6(x), b.clip(x, -0.5, 0.5)])
+        xa = rng.standard_normal(6) * 5
+        out6, outc = run(g, xa)
+        assert np.allclose(out6, np.clip(xa, 0, 6))
+        assert np.allclose(outc, np.clip(xa, -0.5, 0.5))
+
+    def test_scale(self, rng):
+        b = GraphBuilder("s")
+        x = b.input((4,))
+        g = b.build([b.scale(x, 0.125)])
+        xa = rng.standard_normal(4)
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa * 0.125)
+
+
+class TestMemoryOps:
+    def test_transpose(self, rng):
+        b = GraphBuilder("t")
+        x = b.input((2, 3, 4))
+        g = b.build([b.transpose(x, (2, 0, 1))])
+        xa = rng.standard_normal((2, 3, 4))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa.transpose(2, 0, 1))
+
+    def test_reshape(self, rng):
+        b = GraphBuilder("r")
+        x = b.input((2, 3, 4))
+        g = b.build([b.reshape(x, (6, 4))])
+        xa = rng.standard_normal((2, 3, 4))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa.reshape(6, 4))
+
+    def test_strided_slice(self, rng):
+        b = GraphBuilder("ss")
+        x = b.input((8, 6))
+        g = b.build([b.slice(x, (1, 0), (7, 6), (2, 1))])
+        xa = rng.standard_normal((8, 6))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa[1:7:2, :])
+
+    def test_concat(self, rng):
+        b = GraphBuilder("cc")
+        x, y, z = b.input((2, 3)), b.input((4, 3)), b.input((1, 3))
+        g = b.build([b.concat([x, y, z], axis=0)])
+        xs = [rng.standard_normal(s) for s in [(2, 3), (4, 3), (1, 3)]]
+        (out,) = run(g, *xs)
+        assert np.allclose(out, np.concatenate(xs, axis=0))
+
+    def test_pad(self, rng):
+        b = GraphBuilder("p")
+        x = b.input((2, 3))
+        g = b.build([b.pad(x, [(1, 2), (0, 1)])])
+        xa = rng.standard_normal((2, 3))
+        (out,) = run(g, xa)
+        assert np.allclose(out, np.pad(xa, ((1, 2), (0, 1))))
+
+
+class TestReductions:
+    def test_reduce_sum_keepdims(self, rng):
+        b = GraphBuilder("rs")
+        x = b.input((3, 4, 5))
+        g = b.build([b.reduce_sum(x, (1,), keepdims=True)])
+        xa = rng.standard_normal((3, 4, 5))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa.sum(axis=1, keepdims=True))
+
+    def test_reduce_mean(self, rng):
+        b = GraphBuilder("rm")
+        x = b.input((3, 4))
+        g = b.build([b.reduce_mean(x, (0,))])
+        xa = rng.standard_normal((3, 4))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa.mean(axis=0))
+
+    def test_reduce_max_negative_axis(self, rng):
+        b = GraphBuilder("rx")
+        x = b.input((3, 4))
+        g = b.build([b.reduce_max(x, (-1,))])
+        xa = rng.standard_normal((3, 4))
+        (out,) = run(g, xa)
+        assert np.allclose(out, xa.max(axis=-1))
+
+    def test_softmax_any_axis(self, rng):
+        for axis in (0, 1, 2):
+            b = GraphBuilder("sm")
+            x = b.input((2, 3, 4))
+            g = b.build([b.softmax(x, axis=axis)])
+            xa = rng.standard_normal((2, 3, 4))
+            (out,) = run(g, xa)
+            e = np.exp(xa - xa.max(axis=axis, keepdims=True))
+            assert np.allclose(out, e / e.sum(axis=axis, keepdims=True))
+
+    def test_layernorm(self, rng):
+        b = GraphBuilder("ln")
+        x = b.input((4, 8))
+        gamma, beta = b.weight((8,)), b.weight((8,))
+        g = b.build([b.layernorm(x, gamma, beta, eps=1e-5)])
+        xa = rng.standard_normal((4, 8))
+        ga, be = rng.standard_normal(8), rng.standard_normal(8)
+        (out,) = run(g, xa, ga, be)
+        mean = xa.mean(-1, keepdims=True)
+        var = xa.var(-1, keepdims=True)
+        ref = (xa - mean) / np.sqrt(var + 1e-5) * ga + be
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_pools(self, rng):
+        b = GraphBuilder("pl")
+        x = b.input((1, 2, 6, 6))
+        g = b.build([
+            b.avg_pool2d(x, kernel=2, stride=2),
+            b.max_pool2d(x, kernel=2, stride=2),
+            b.global_avg_pool(x),
+        ])
+        xa = rng.standard_normal((1, 2, 6, 6))
+        avg, mx, gap = run(g, xa)
+        blocks = xa.reshape(1, 2, 3, 2, 3, 2)
+        assert np.allclose(avg, blocks.mean(axis=(3, 5)))
+        assert np.allclose(mx, blocks.max(axis=(3, 5)))
+        assert np.allclose(gap, xa.mean(axis=(2, 3)))
+
+
+def test_unsupported_operator_raises():
+    node = OpNode("resize", [OpNode("input", [], (1, 3, 4, 4))], (1, 3, 8, 8))
+    from repro.graph import Graph
+
+    with pytest.raises(UnsupportedOperatorError):
+        lower_graph(Graph([node]))
+
+
+def test_te_counts_softmax_decomposition():
+    """Softmax decomposes into reduction + elementwise TEs (paper Sec. 1)."""
+    b = GraphBuilder("d")
+    x = b.input((4, 8))
+    g = b.build([b.softmax(x)])
+    program = lower_graph(g)
+    assert len(program) == 4  # max, exp, sum, div

@@ -1,0 +1,89 @@
+"""Paper-scale model sanity: graph sizes and lowering statistics.
+
+These catch accidental drift in the Table-2 configurations without
+compiling (lowering the biggest models takes milliseconds; compiling the
+LSTM takes tens of seconds and is exercised by the benchmarks instead).
+"""
+
+import pytest
+
+from repro.graph import lower_graph
+from repro.models import (
+    build_bert,
+    build_efficientnet,
+    build_lstm,
+    build_mmoe,
+    build_resnext,
+    build_swin,
+)
+
+
+class TestBert:
+    def test_te_count_scales_with_layers(self):
+        one = lower_graph(build_bert(layers=1))
+        two = lower_graph(build_bert(layers=2))
+        per_layer = len(two) - len(one)
+        assert len(one) > 20
+        assert per_layer == len(one) - 0  # identical layers add equal TEs
+
+    def test_parameter_count_roughly_bert_base(self):
+        graph = build_bert()
+        params = sum(w.num_elements for w in graph.weights)
+        # BERT-base encoder stack: ~85M parameters (no embeddings here).
+        assert 70e6 < params < 100e6
+
+
+class TestResNeXt:
+    def test_conv_count_matches_depth(self):
+        graph = build_resnext()
+        convs = graph.op_counts()["conv2d"]
+        # 33 bottlenecks x 3 convs + stem + 4 stage projections = 104.
+        assert convs == 3 * 33 + 1 + 4
+
+    def test_parameter_count_roughly_resnext101_64x4d(self):
+        graph = build_resnext()
+        params = sum(w.num_elements for w in graph.weights)
+        assert 70e6 < params < 110e6  # paper model: ~83M
+
+
+class TestLSTM:
+    def test_te_program_size(self):
+        program = lower_graph(build_lstm(time_steps=5, num_cells=10))
+        # ~17 TEs per cell-step.
+        assert 600 < len(program) < 1200
+
+    def test_weight_bytes_match_table6(self):
+        graph = build_lstm()
+        weights = sum(
+            w.num_elements * 2 for w in graph.weights  # FP16
+            if w.name.endswith(("_W", "_U"))
+        )
+        # Table 6: Souffle's 21.1 MB transfer is weight-dominated (~10.5 MB
+        # of FP16 weights loaded once plus activations).
+        assert 9e6 < weights < 13e6
+
+
+class TestEfficientNet:
+    def test_b0_parameter_scale(self):
+        graph = build_efficientnet()
+        params = sum(w.num_elements for w in graph.weights)
+        assert 4e6 < params < 9e6  # B0: ~5.3M
+
+
+class TestSwin:
+    def test_stage_dims_double(self):
+        graph = build_swin(depths=(1, 1, 1, 1))
+        matmul_dims = {
+            n.inputs[1].shape for n in graph.operators
+            if n.op_type == "matmul" and n.inputs[1].op_type == "weight"
+        }
+        in_dims = {shape[0] for shape in matmul_dims}
+        assert {128, 256, 512, 1024} <= in_dims
+
+
+class TestMMoE:
+    def test_expert_fanout(self):
+        graph = build_mmoe(num_experts=8, num_tasks=2)
+        assert graph.op_counts()["softmax"] == 2
+        program = lower_graph(graph)
+        assert len(program) < 120  # tiny model, launch-bound by design

@@ -1,0 +1,91 @@
+"""Tests for the closed-form occupancy model and FastPartitioner."""
+
+import pytest
+
+from repro.analysis import Partitioner, characterize_program
+from repro.analysis.occupancy import (
+    FastPartitioner,
+    OccupancyEstimate,
+    estimate_occupancy,
+)
+from repro.gpu import a100_40gb
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import build_bert, build_lstm_tiny, build_mmoe_tiny
+
+
+@pytest.fixture()
+def device():
+    return a100_40gb()
+
+
+def lower_one(build):
+    b = GraphBuilder("o")
+    return lower_graph(b.build([build(b)]))
+
+
+class TestEstimates:
+    def test_contraction_estimate_close_to_schedule(self, device):
+        """The cost model predicts the searched schedule's footprint within
+        a small factor — the property that makes it usable for partitioning
+        (paper Sec. 9)."""
+        from repro.schedule import AnsorScheduler
+
+        program = lower_one(
+            lambda b: b.matmul(b.input((128, 768), dtype="float16"),
+                               b.weight((768, 768), dtype="float16"))
+        )
+        node = program.nodes[0]
+        estimate = estimate_occupancy(node, device)
+        schedule = AnsorScheduler(device).schedule(node)
+        assert estimate.grid_blocks <= 8 * schedule.grid_blocks
+        assert schedule.grid_blocks <= 8 * estimate.grid_blocks
+        ratio = estimate.shared_mem_per_block / max(
+            schedule.shared_mem_per_block, 1
+        )
+        assert 0.2 <= ratio <= 5
+
+    def test_elementwise_estimate(self, device):
+        program = lower_one(lambda b: b.relu(b.input((1024, 1024))))
+        estimate = estimate_occupancy(program.nodes[0], device)
+        assert estimate.shared_mem_per_block == 0
+        assert estimate.grid_blocks >= 1
+
+    def test_reduce_estimate_capped_at_wave(self, device):
+        program = lower_one(lambda b: b.reduce_sum(b.input((100000, 64)), (1,)))
+        estimate = estimate_occupancy(program.nodes[0], device)
+        assert estimate.grid_blocks <= device.max_blocks_per_wave(256, 0)
+
+    def test_blocks_per_wave_helper(self, device):
+        estimate = OccupancyEstimate(64, 256, 8192, 64)
+        assert estimate.blocks_per_wave(device) > 0
+
+
+class TestFastPartitioner:
+    def test_matches_search_based_partitioner_on_bert(self, device):
+        program = lower_graph(build_bert(layers=2))
+        chars = characterize_program(program)
+        slow = Partitioner(device).partition(program, chars)
+        fast = FastPartitioner(device).partition(program, chars)
+        # The cost model reproduces the search-based boundary count to
+        # within a small factor (it still creates multiple kernels per the
+        # same resource constraint, just with estimated footprints).
+        assert 1 <= fast.num_subprograms
+        assert fast.num_subprograms <= 3 * slow.num_subprograms
+        assert slow.num_subprograms <= 3 * fast.num_subprograms
+
+    def test_single_subprogram_models_stay_single(self, device):
+        for build in (build_lstm_tiny, build_mmoe_tiny):
+            program = lower_graph(build())
+            fast = FastPartitioner(device).partition(program)
+            assert fast.num_subprograms == 1, build.__name__
+
+    def test_partitions_cover_program(self, device):
+        program = lower_graph(build_bert(layers=1))
+        fast = FastPartitioner(device).partition(program)
+        nodes = [n for sp in fast.subprograms for n in sp.nodes]
+        assert len(nodes) == len(program)
+
+    def test_no_schedules_computed(self, device):
+        program = lower_graph(build_bert(layers=1))
+        fast = FastPartitioner(device).partition(program)
+        assert fast.schedules == {}

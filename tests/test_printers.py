@@ -1,0 +1,92 @@
+"""Tests for the TE printer and TIR statement rendering."""
+
+import pytest
+
+from repro.graph import GraphBuilder, lower_graph
+from repro.te import (
+    compute,
+    describe_dependencies,
+    format_program,
+    format_tensor,
+    placeholder,
+    reduce_axis,
+    sum_expr,
+)
+from repro.tir.stmt import (
+    AllocShared,
+    ComputeStmt,
+    GridSync,
+    KernelFunction,
+    LoadGlobal,
+    Predicate,
+    StoreGlobal,
+)
+
+
+class TestTEPrinter:
+    def test_placeholder(self):
+        t = placeholder((4, 8), name="A", dtype="float16")
+        text = format_tensor(t)
+        assert "A" in text and "placeholder" in text and "4x8" in text
+
+    def test_compute_shows_axes_and_body(self):
+        a = placeholder((4, 8), name="A")
+        rk = reduce_axis((0, 8), name="rk")
+        t = compute((4,), lambda i: sum_expr(a[i, rk], [rk]), name="S")
+        text = format_tensor(t)
+        assert "S[" in text and "sum(" in text and "rk" in text
+
+    def test_format_program_multi_line(self):
+        b = GraphBuilder("p")
+        x = b.input((4, 4))
+        program = lower_graph(b.build([b.sigmoid(b.relu(x))]))
+        text = format_program(n.tensor for n in program)
+        assert len(text.splitlines()) == 2
+
+    def test_describe_dependencies(self):
+        a = placeholder((4,), name="A")
+        t = compute((4,), lambda i: a[i] * 2, name="T")
+        assert "A" in describe_dependencies(t)
+        assert "(input)" in describe_dependencies(a)
+
+
+class TestStmtRendering:
+    def test_alloc(self):
+        assert "uint8_t buf[128]" in AllocShared("buf", 128).render()
+
+    def test_load_and_cached_load(self):
+        t = placeholder((4,), name="T")
+        assert "ldg2s" in LoadGlobal(t, 16.0).render()
+        assert "reuse hit" in LoadGlobal(t, 16.0, cached=True).render()
+
+    def test_store_and_elided_store(self):
+        t = placeholder((4,), name="T")
+        assert "sts2g" in StoreGlobal(t, 16.0).render()
+        assert "elided" in StoreGlobal(t, 16.0, elided=True).render()
+
+    def test_compute_tensor_core_vs_ffma(self):
+        assert "wmma" in ComputeStmt("te", "matmul", 1e6, tensor_core=True).render()
+        assert "ffma" in ComputeStmt("te", "add", 1e3).render()
+        assert "atomicAdd" in ComputeStmt("te", "reduce_sum", 1e3,
+                                          atomic=True).render()
+
+    def test_grid_sync(self):
+        assert GridSync().render() == "grid.sync();"
+
+    def test_predicate_indents_body(self):
+        pred = Predicate(48, [GridSync()])
+        text = pred.render()
+        assert "blockIdx.x < 48" in text and "  grid.sync();" in text
+
+    def test_kernel_function_render_and_sync_count(self):
+        t = placeholder((4,), name="T")
+        fn = KernelFunction(
+            name="k", params=[t], grid_blocks=8, threads_per_block=128,
+            shared_mem_bytes=1024,
+            stmts=[Predicate(8, [LoadGlobal(t, 16.0)]), GridSync(),
+                   Predicate(4, [StoreGlobal(t, 16.0)])],
+        )
+        text = fn.render()
+        assert "__global__ void k(" in text
+        assert "<<<8, 128>>>" in text
+        assert fn.sync_count == 1

@@ -1,0 +1,111 @@
+"""Property-based tests: transformations preserve semantics on random
+generated programs (hypothesis drives the program generator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, lower_graph
+from repro.transform import (
+    check_equivalent,
+    horizontal_transform,
+    vertical_transform,
+)
+
+UNARY_OPS = ("relu", "sigmoid", "tanh", "exp")
+MEMORY_OPS = ("transpose", "reshape", "slice")
+
+
+@st.composite
+def random_graphs(draw):
+    """A random DAG of elementwise / memory / matmul / reduce operators over
+    small 2-D tensors."""
+    builder = GraphBuilder("prop")
+    rows = draw(st.sampled_from([2, 3, 4]))
+    cols = draw(st.sampled_from([4, 6, 8]))
+    frontier = [builder.input((rows, cols), name="x0")]
+    num_ops = draw(st.integers(2, 8))
+    for index in range(num_ops):
+        source = frontier[draw(st.integers(0, len(frontier) - 1))]
+        choice = draw(st.integers(0, 5))
+        if choice <= 1:
+            op = draw(st.sampled_from(UNARY_OPS))
+            node = getattr(builder, op)(source)
+        elif choice == 2:
+            node = builder.transpose(
+                source, tuple(reversed(range(len(source.shape))))
+            )
+        elif choice == 3:
+            total = 1
+            for extent in source.shape:
+                total *= extent
+            node = builder.reshape(source, (total,))
+        elif choice == 4 and len(source.shape) == 2:
+            k = source.shape[1]
+            w = builder.weight((k, draw(st.sampled_from([4, 6]))),
+                               name=f"w{index}")
+            node = builder.matmul(source, w)
+        else:
+            axes = (len(source.shape) - 1,)
+            node = builder.reduce_sum(source, axes, keepdims=True)
+        frontier.append(node)
+    # Sum everything reachable into one scalar-ish output to keep arity 1.
+    outputs = [frontier[-1]]
+    if draw(st.booleans()) and len(frontier) > 2:
+        outputs.append(frontier[-2])
+    return builder.build(outputs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_vertical_preserves_semantics(graph):
+    program = lower_graph(graph)
+    transformed, _ = vertical_transform(program)
+    assert check_equivalent(program, transformed, atol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_horizontal_preserves_semantics(graph):
+    program = lower_graph(graph)
+    transformed, _ = horizontal_transform(program)
+    assert check_equivalent(program, transformed, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graphs())
+def test_composed_transforms_preserve_semantics(graph):
+    program = lower_graph(graph)
+    h, _ = horizontal_transform(program)
+    v, _ = vertical_transform(h)
+    assert check_equivalent(program, v, atol=1e-7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graphs())
+def test_full_pipeline_matches_unfused(graph):
+    """End to end: a V4 compile computes what an unfused compile computes."""
+    from repro import compile_model
+    from repro.baselines import UnfusedCompiler
+
+    souffle = compile_model(graph, level=4)
+    unfused = UnfusedCompiler().compile(graph)
+    rng = np.random.default_rng(0)
+    feeds = {t.name: rng.standard_normal(t.shape) * 0.3
+             for t in unfused.program.inputs}
+    for expected, actual in zip(
+        unfused.run_by_name(feeds), souffle.run_by_name(feeds)
+    ):
+        assert np.allclose(expected, actual, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graphs())
+def test_transforms_never_grow_te_count(graph):
+    """Both transformations only ever merge TEs, never duplicate them."""
+    program = lower_graph(graph)
+    h, _ = horizontal_transform(program)
+    assert len(h) <= len(program)
+    v, _ = vertical_transform(h)
+    assert len(v) <= len(h)

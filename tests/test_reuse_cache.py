@@ -1,0 +1,145 @@
+"""Tests for the software-managed reuse cache (paper Sec. 6.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.te import placeholder
+from repro.tir import Access, apply_reuse, cache_capacity_bytes, total_traffic
+
+
+def t(size, name):
+    return placeholder((size,), dtype="float32", name=name)  # 4*size bytes
+
+
+class TestPinning:
+    def test_repeated_loads_pinned(self):
+        w = t(256, "w")  # 1 KiB
+        accesses = [Access(w, "load", w.size_bytes) for _ in range(10)]
+        report = apply_reuse(accesses, capacity=4096)
+        assert "w" in report.pinned
+        assert sum(1 for a in accesses if a.satisfied) == 9  # first load pays
+
+    def test_pinning_respects_capacity(self):
+        big = t(10_000, "big")       # 40 KB
+        small = t(100, "small")      # 400 B
+        accesses = (
+            [Access(big, "load", big.size_bytes) for _ in range(5)]
+            + [Access(small, "load", small.size_bytes) for _ in range(5)]
+        )
+        report = apply_reuse(accesses, capacity=1000)
+        assert report.pinned == ["small"]
+
+    def test_pinning_prefers_higher_savings(self):
+        a = t(200, "a")
+        b = t(200, "b")
+        accesses = [Access(a, "load", a.size_bytes) for _ in range(10)]
+        accesses += [Access(b, "load", b.size_bytes) for _ in range(2)]
+        report = apply_reuse(accesses, capacity=a.size_bytes)  # room for one
+        assert report.pinned == ["a"]
+
+
+class TestLRU:
+    def test_reload_hits_when_fits(self):
+        x = t(100, "x")
+        accesses = [
+            Access(x, "load", x.size_bytes),
+            Access(x, "load", x.size_bytes),
+        ]
+        # Only one loading tensor: candidate for pinning too; force LRU by
+        # zero pin benefit? Either mechanism satisfying the reload is fine.
+        apply_reuse(accesses, capacity=10_000)
+        assert not accesses[0].satisfied and accesses[1].satisfied
+
+    def test_eviction_under_pressure(self):
+        a, b, c = t(100, "a"), t(100, "b"), t(100, "c")
+        # Round-robin over 3 tensors with room for only 2: a evicted by c.
+        order = [a, b, c, a]
+        accesses = [Access(x, "load", x.size_bytes) for x in order]
+        apply_reuse(accesses, capacity=2 * 400 + 10)
+        assert not accesses[3].satisfied or accesses[3].satisfied  # smoke
+        loads, _ = total_traffic(accesses)
+        assert loads >= 3 * 400  # at least three real loads
+
+    def test_oversized_tensor_never_cached(self):
+        huge = t(10_000, "huge")
+        accesses = [Access(huge, "load", huge.size_bytes) for _ in range(3)]
+        apply_reuse(accesses, capacity=100)
+        assert all(not a.satisfied for a in accesses)
+
+
+class TestStoreElision:
+    def test_internal_tensor_stays_on_chip(self):
+        """Store + later load of a kernel-internal tensor both vanish when it
+        fits (Sec. 2.3: 'the entire tensor data can be kept on-chip')."""
+        x = t(100, "x")
+        accesses = [
+            Access(x, "store", x.size_bytes, internal=True),
+            Access(x, "load", x.size_bytes, internal=True),
+        ]
+        report = apply_reuse(accesses, capacity=10_000)
+        assert accesses[0].satisfied and accesses[1].satisfied
+        assert report.stores_elided == 1
+
+    def test_external_store_never_elided(self):
+        x = t(100, "x")
+        accesses = [
+            Access(x, "store", x.size_bytes, internal=False),
+            Access(x, "load", x.size_bytes, internal=False),
+        ]
+        apply_reuse(accesses, capacity=10_000)
+        assert not accesses[0].satisfied
+
+    def test_spilled_internal_keeps_store(self):
+        x = t(100, "x")
+        evictor = t(5000, "evictor")
+        accesses = [
+            Access(x, "store", x.size_bytes, internal=True),
+            Access(evictor, "load", evictor.size_bytes),
+            Access(x, "load", x.size_bytes, internal=True),
+        ]
+        apply_reuse(accesses, capacity=400 + 20_000 - 1)
+        # x evicted before its load -> load pays -> store must stay.
+        assert not accesses[2].satisfied
+        assert not accesses[0].satisfied
+
+
+class TestAccounting:
+    def test_total_traffic(self):
+        x, y = t(100, "x"), t(50, "y")
+        accesses = [
+            Access(x, "load", 400.0),
+            Access(y, "store", 200.0),
+        ]
+        loads, stores = total_traffic(accesses)
+        assert loads == 400 and stores == 200
+
+    def test_capacity_formula(self):
+        assert cache_capacity_bytes(100, 200) == 100 + 0.5 * 200 * 4
+
+    def test_bad_access_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Access(t(4, "x"), "prefetch", 16.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_reuse_invariants(data):
+    """Property: the pass never increases traffic, satisfied bytes equal the
+    report's savings, and external stores are never elided."""
+    tensors = [t(data.draw(st.integers(1, 500)), f"t{k}") for k in range(5)]
+    n = data.draw(st.integers(1, 30))
+    accesses = []
+    for _ in range(n):
+        tensor = data.draw(st.sampled_from(tensors))
+        kind = data.draw(st.sampled_from(["load", "store"]))
+        internal = data.draw(st.booleans())
+        accesses.append(Access(tensor, kind, float(tensor.size_bytes), internal))
+    before = sum(a.nbytes for a in accesses)
+    report = apply_reuse(accesses, capacity=float(data.draw(st.integers(0, 4000))))
+    loads, stores = total_traffic(accesses)
+    assert loads + stores <= before + 1e-9
+    assert loads + stores == pytest.approx(before - report.bytes_saved)
+    for access in accesses:
+        if access.kind == "store" and not access.internal:
+            assert not access.satisfied

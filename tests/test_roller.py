@@ -1,0 +1,97 @@
+"""Tests for the Roller-style construction scheduler."""
+
+import pytest
+
+from repro import SouffleCompiler, profile_module
+from repro.baselines import UnfusedCompiler
+from repro.gpu import a100_40gb
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import build_bert_attention_subgraph
+from repro.schedule import AnsorScheduler, RollerScheduler, compare_schedulers
+import numpy as np
+
+
+@pytest.fixture()
+def device():
+    return a100_40gb()
+
+
+def gemm_program(m=256, n=256, k=256, dtype="float16"):
+    b = GraphBuilder("g")
+    x = b.input((m, k), dtype=dtype)
+    w = b.weight((k, n), dtype=dtype)
+    return lower_graph(b.build([b.matmul(x, w)]))
+
+
+class TestConstruction:
+    def test_no_search_trials(self, device):
+        program = gemm_program()
+        roller = RollerScheduler(device)
+        roller.schedule(program.nodes[0])
+        assert roller.search_trials == 0
+        assert roller.constructions == 1
+
+    def test_tiles_fragment_aligned(self, device):
+        program = gemm_program()
+        sched = RollerScheduler(device).schedule(program.nodes[0])
+        ti, tj, tk = sched.tile
+        assert ti % 16 == 0 and tj % 16 == 0 and tk % 16 == 0
+
+    def test_rtile_step_recorded(self, device):
+        program = gemm_program()
+        sched = RollerScheduler(device).schedule(program.nodes[0])
+        assert any(s.primitive == "rtile" for s in sched.steps)
+
+    def test_resources_within_device(self, device):
+        program = gemm_program(m=1024, n=1024, k=1024)
+        sched = RollerScheduler(device).schedule(program.nodes[0])
+        assert sched.shared_mem_per_block <= device.shared_mem_per_sm
+        assert sched.threads_per_block <= device.max_threads_per_block
+
+    def test_degenerate_contraction_falls_back(self, device):
+        b = GraphBuilder("gv")
+        m = b.input((512, 4))
+        v = b.input((4,))
+        program = lower_graph(b.build([b.gemv(m, v)]))
+        sched = RollerScheduler(device).schedule(program.nodes[0])
+        assert sched.kind in ("reduce",)
+
+    def test_memory_templates_shared_with_ansor(self, device):
+        b = GraphBuilder("e")
+        program = lower_graph(b.build([b.relu(b.input((512, 512)))]))
+        node = program.nodes[0]
+        both = compare_schedulers(node, device)
+        assert both["ansor"].grid_blocks == both["roller"].grid_blocks
+
+
+class TestQualityTradeoff:
+    def test_roller_much_faster_to_schedule(self, device):
+        """Roller's whole point: construction beats search on compile effort
+        (paper Sec. 8.5 cites it as the faster optimizer)."""
+        program = gemm_program(m=512, n=512, k=512)
+        ansor = AnsorScheduler(device)
+        roller = RollerScheduler(device)
+        ansor.schedule(program.nodes[0])
+        roller.schedule(program.nodes[0])
+        assert roller.search_trials == 0 < ansor.search_trials
+
+    def test_roller_quality_within_reason(self, device):
+        """Constructed schedules must stay within a few x of searched ones."""
+        program = gemm_program(m=512, n=512, k=512)
+        node = program.nodes[0]
+        both = compare_schedulers(node, device)
+        sim = AnsorScheduler(device)
+        t_ansor = sim._estimate(both["ansor"])
+        t_roller = sim._estimate(both["roller"])
+        assert t_roller <= 5 * t_ansor
+
+    def test_full_pipeline_with_roller_is_correct(self):
+        graph = build_bert_attention_subgraph(seq_len=32, hidden=64, heads=2)
+        module = SouffleCompiler(scheduler_factory=RollerScheduler).compile(graph)
+        unfused = UnfusedCompiler().compile(graph)
+        rng = np.random.default_rng(5)
+        feeds = {t.name: rng.standard_normal(t.shape) * 0.1
+                 for t in unfused.program.inputs}
+        for e, a in zip(unfused.run_by_name(feeds), module.run_by_name(feeds)):
+            assert np.allclose(e, a, atol=1e-6)
+        assert profile_module(module).total_time_us > 0

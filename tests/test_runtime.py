@@ -1,0 +1,74 @@
+"""Tests for compiled modules and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro import compile_model, profile_module
+from repro.errors import ExecutionError
+from repro.models import build_bert_attention_subgraph, build_mmoe_tiny
+from repro.runtime import CompileStats, PhaseTimer
+from repro.transform import random_feeds
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_model(
+        build_bert_attention_subgraph(seq_len=32, hidden=64, heads=2), level=4
+    )
+
+
+class TestCompiledModule:
+    def test_run_by_name(self):
+        module = compile_model(build_mmoe_tiny(), level=4)
+        feeds = {t.name: np.zeros(t.shape) for t in module.program.inputs}
+        outputs = module.run_by_name(feeds)
+        assert len(outputs) == 2
+
+    def test_run_by_name_unknown_input(self, module):
+        with pytest.raises(ExecutionError):
+            module.run_by_name({"nonexistent": np.zeros((1,))})
+
+    def test_render_kernels(self, module):
+        text = module.render_kernels(limit=1)
+        assert "__global__" in text
+
+    def test_simulate_deterministic(self, module):
+        t1 = module.simulate().total_time_us
+        t2 = module.simulate().total_time_us
+        assert t1 == t2
+
+
+class TestProfiler:
+    def test_report_totals_consistent(self, module):
+        report = profile_module(module)
+        assert report.kernel_calls == module.kernel_calls
+        assert report.total_time_us == pytest.approx(
+            sum(k.time_us for k in report.kernels)
+        )
+        assert report.transfer_bytes >= report.load_bytes
+
+    def test_latency_split_partitions_total(self, module):
+        report = profile_module(module)
+        compute, memory = report.latency_split_us()
+        assert compute + memory == pytest.approx(report.total_time_us)
+
+    def test_utilization_bounds(self, module):
+        util = profile_module(module).utilization()
+        assert 0 <= util["lsu"] <= 1 and 0 <= util["fma"] <= 1
+
+    def test_render_table(self, module):
+        text = profile_module(module).render(top=5)
+        assert "profile:" in text and "kernel" in text
+
+
+class TestCompileStats:
+    def test_phase_timer_accumulates(self):
+        stats = CompileStats()
+        with PhaseTimer(stats, "phase"):
+            pass
+        with PhaseTimer(stats, "phase"):
+            pass
+        assert stats.phase_seconds["phase"] >= 0
+        assert stats.total_seconds == pytest.approx(
+            sum(stats.phase_seconds.values())
+        )

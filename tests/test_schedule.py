@@ -1,0 +1,180 @@
+"""Tests for the Ansor-like scheduler and schedule propagation."""
+
+import pytest
+
+from repro.analysis import characterize_program
+from repro.gpu import a100_40gb
+from repro.graph import GraphBuilder, lower_graph
+from repro.schedule import (
+    CONV,
+    ELEMENTWISE,
+    MATMUL,
+    REDUCE,
+    AnsorScheduler,
+    contraction_dims,
+    inline_elementwise,
+    propagate_schedule,
+)
+from repro.schedule.ansor import is_two_phase_reduction
+
+
+@pytest.fixture()
+def scheduler():
+    return AnsorScheduler(a100_40gb())
+
+
+def lower_one(build):
+    b = GraphBuilder("s")
+    out = build(b)
+    return lower_graph(b.build([out]))
+
+
+class TestContractionDims:
+    def test_matmul(self):
+        program = lower_one(
+            lambda b: b.matmul(b.input((64, 128)), b.weight((128, 32)))
+        )
+        dims = contraction_dims(program.nodes[0])
+        assert (dims.batch, dims.m, dims.n, dims.k) == (1, 64, 32, 128)
+
+    def test_batch_matmul_folds_batch(self):
+        program = lower_one(
+            lambda b: b.batch_matmul(b.input((4, 16, 32)), b.input((4, 32, 8)))
+        )
+        dims = contraction_dims(program.nodes[0])
+        assert dims.batch == 4 and dims.m == 16 and dims.n == 8 and dims.k == 32
+
+    def test_conv_uses_spatial_m(self):
+        program = lower_one(
+            lambda b: b.conv2d(b.input((1, 8, 16, 16)), b.weight((32, 8, 3, 3)),
+                               padding=1)
+        )
+        from repro.te import is_reduction
+        conv = next(n for n in program
+                    if n.op_type == "conv2d" and is_reduction(n.tensor))
+        dims = contraction_dims(conv)
+        assert dims.m == 256 and dims.n == 32 and dims.k == 8 * 9
+
+    def test_elementwise_has_no_dims(self):
+        program = lower_one(lambda b: b.relu(b.input((4, 4))))
+        assert contraction_dims(program.nodes[0]) is None
+
+
+class TestScheduleKinds:
+    def test_matmul_gets_contraction_schedule(self, scheduler):
+        program = lower_one(
+            lambda b: b.matmul(b.input((128, 256), dtype="float16"),
+                               b.weight((256, 128), dtype="float16"))
+        )
+        sched = scheduler.schedule(program.nodes[0])
+        assert sched.kind == MATMUL
+        assert sched.use_tensor_core
+        assert sched.tile != (0, 0, 0)
+        assert sched.fp16_flops > 0 and sched.fp32_flops == 0
+
+    def test_fp32_matmul_no_tensor_core(self, scheduler):
+        program = lower_one(
+            lambda b: b.matmul(b.input((128, 256)), b.weight((256, 128)))
+        )
+        sched = scheduler.schedule(program.nodes[0])
+        assert not sched.use_tensor_core and sched.fp32_flops > 0
+
+    def test_conv_schedule(self, scheduler):
+        program = lower_one(
+            lambda b: b.conv2d(b.input((1, 16, 32, 32)), b.weight((32, 16, 3, 3)),
+                               padding=1)
+        )
+        from repro.te import is_reduction
+        conv = next(n for n in program
+                    if n.op_type == "conv2d" and is_reduction(n.tensor))
+        assert scheduler.schedule(conv).kind == CONV
+
+    def test_rowwise_reduce_schedule(self, scheduler):
+        program = lower_one(lambda b: b.reduce_sum(b.input((512, 64)), (1,)))
+        sched = scheduler.schedule(program.nodes[0])
+        assert sched.kind == REDUCE and sched.atomic_bytes == 0
+
+    def test_two_phase_reduce_uses_atomics(self, scheduler):
+        program = lower_one(lambda b: b.reduce_sum(b.input((4, 4096)), (1,)))
+        node = program.nodes[0]
+        assert is_two_phase_reduction(node.tensor)
+        sched = scheduler.schedule(node)
+        assert sched.atomic_bytes > 0
+
+    def test_elementwise_schedule(self, scheduler):
+        program = lower_one(lambda b: b.relu(b.input((1024, 1024))))
+        sched = scheduler.schedule(program.nodes[0])
+        assert sched.kind == ELEMENTWISE and sched.shared_mem_per_block == 0
+
+
+class TestResourceSanity:
+    def test_threads_within_device_limit(self, scheduler):
+        program = lower_one(
+            lambda b: b.matmul(b.input((512, 512), dtype="float16"),
+                               b.weight((512, 512), dtype="float16"))
+        )
+        sched = scheduler.schedule(program.nodes[0])
+        assert sched.threads_per_block <= scheduler.device.max_threads_per_block
+        assert sched.shared_mem_per_block <= scheduler.device.shared_mem_per_sm
+        assert sched.grid_blocks >= 1
+
+    def test_memory_bound_grids_capped_at_wave(self, scheduler):
+        program = lower_one(lambda b: b.relu(b.input((4096, 4096))))
+        sched = scheduler.schedule(program.nodes[0])
+        wave = scheduler.device.max_blocks_per_wave(sched.threads_per_block, 0)
+        assert sched.grid_blocks <= wave
+
+    def test_memoisation_retargets_node(self, scheduler):
+        program = lower_one(
+            lambda b: b.add(b.relu(b.input((64, 64))), b.relu(b.input((64, 64))))
+        )
+        relus = [n for n in program if n.op_type == "relu"]
+        s0, s1 = (scheduler.schedule(n) for n in relus)
+        assert s0.node is relus[0] and s1.node is relus[1]
+        assert s0.grid_blocks == s1.grid_blocks
+
+    def test_search_trials_counted(self, scheduler):
+        program = lower_one(
+            lambda b: b.matmul(b.input((256, 256)), b.weight((256, 256)))
+        )
+        scheduler.schedule(program.nodes[0])
+        assert scheduler.search_trials > 10
+
+
+class TestPropagation:
+    def test_propagated_schedule_inherits_launch(self, scheduler):
+        program = lower_one(
+            lambda b: b.sigmoid(b.matmul(b.input((128, 256)), b.weight((256, 128))))
+        )
+        gemm, sigmoid = program.nodes[0], program.nodes[1]
+        producer_sched = scheduler.schedule(gemm)
+        propagated = propagate_schedule(producer_sched, sigmoid)
+        assert propagated.grid_blocks == producer_sched.grid_blocks
+        assert propagated.threads_per_block == producer_sched.threads_per_block
+        assert propagated.node is sigmoid
+        # The producer's output arrives on-chip: no load for it.
+        assert propagated.load_bytes == 0
+        assert any(s.primitive == "compute_at" for s in propagated.steps)
+
+    def test_propagated_keeps_external_loads(self, scheduler):
+        program = lower_one(
+            lambda b: b.add(
+                b.matmul(b.input((64, 64)), b.weight((64, 64))),
+                b.input((64, 64), name="res"),
+            )
+        )
+        gemm = program.nodes[0]
+        add = program.nodes[1]
+        propagated = propagate_schedule(scheduler.schedule(gemm), add)
+        res = next(t for t in program.inputs if t.name == "res")
+        assert propagated.load_bytes == pytest.approx(res.size_bytes)
+
+    def test_inline_elementwise_adjusts_traffic(self, scheduler):
+        program = lower_one(lambda b: b.sigmoid(b.relu(b.input((256, 256)))))
+        relu, sigmoid = program.nodes
+        consumer_sched = scheduler.schedule(sigmoid)
+        before = consumer_sched.load_bytes
+        inlined = inline_elementwise(consumer_sched, relu)
+        # relu output load replaced by relu's input load: same size here.
+        assert inlined.load_bytes == pytest.approx(before)
+        assert any(s.primitive == "inline" for s in inlined.steps)

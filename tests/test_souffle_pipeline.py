@@ -1,0 +1,102 @@
+"""End-to-end tests of the Souffle compiler (paper Sec. 4, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import SouffleCompiler, SouffleOptions, compile_model, profile_module
+from repro.baselines import UnfusedCompiler
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import TINY_MODELS, build_bert_attention_subgraph, get_model
+from repro.transform import random_feeds
+
+
+def attention_graph():
+    return build_bert_attention_subgraph(seq_len=32, hidden=64, heads=2)
+
+
+class TestOptions:
+    def test_levels(self):
+        assert SouffleOptions.from_level(0).level_name == "V0"
+        assert SouffleOptions.from_level(4).level_name == "V4"
+        v2 = SouffleOptions.from_level(2)
+        assert v2.horizontal and v2.vertical
+        assert not v2.global_sync and not v2.subprogram_opt
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            SouffleOptions.from_level(7)
+
+
+class TestPipeline:
+    def test_compiles_attention(self):
+        module = compile_model(attention_graph(), level=4)
+        assert module.kernel_calls >= 1
+        assert module.compiler == "souffle-V4"
+
+    def test_validation_mode(self):
+        module = compile_model(attention_graph(), level=4, validate=True)
+        assert module.kernel_calls >= 1
+
+    def test_levels_monotonically_improve(self):
+        graph = attention_graph()
+        times = []
+        for level in range(5):
+            module = compile_model(graph, level=level)
+            times.append(profile_module(module).total_time_us)
+        # Each added optimisation may not strictly help a tiny graph, but the
+        # full pipeline must beat the V0 baseline clearly.
+        assert times[4] < times[0]
+        assert times[4] <= min(times) * 1.2
+
+    def test_v3_reduces_kernel_count(self):
+        graph = attention_graph()
+        v2 = compile_model(graph, level=2)
+        v3 = compile_model(graph, level=3)
+        assert v3.kernel_calls < v2.kernel_calls
+
+    def test_v4_reduces_traffic(self):
+        graph = attention_graph()
+        v3 = profile_module(compile_model(graph, level=3))
+        v4 = profile_module(compile_model(graph, level=4))
+        assert v4.transfer_bytes <= v3.transfer_bytes
+
+    def test_accepts_prelowered_program(self):
+        program = lower_graph(attention_graph())
+        module = SouffleCompiler().compile(program)
+        assert module.kernel_calls >= 1
+
+    def test_compile_stats_recorded(self):
+        module = compile_model(attention_graph(), level=4)
+        phases = module.stats.phase_seconds
+        for phase in ("lowering", "analysis", "partitioning", "codegen",
+                      "subprogram_opt"):
+            assert phase in phases
+        assert module.stats.schedule_trials > 0
+        assert module.stats.total_seconds > 0
+
+
+@pytest.mark.parametrize("name", sorted(TINY_MODELS))
+class TestCorrectnessAllModels:
+    def test_souffle_matches_unfused_functionally(self, name):
+        """The optimised program computes the same outputs as an unfused
+        compile of the same model — on every evaluation model."""
+        graph = TINY_MODELS[name]()
+        souffle = compile_model(graph, level=4)
+        unfused = UnfusedCompiler().compile(graph)
+        # Each compile lowers to fresh placeholders: feed by input name.
+        rng = np.random.default_rng(3)
+        feeds = {
+            t.name: rng.standard_normal(t.shape) * 0.1
+            for t in unfused.program.inputs
+        }
+        expected = unfused.run_by_name(feeds)
+        actual = souffle.run_by_name(feeds)
+        assert len(expected) == len(actual)
+        for e, a in zip(expected, actual):
+            assert np.allclose(e, a, atol=1e-6), name
+
+    def test_all_levels_compile(self, name):
+        graph = TINY_MODELS[name]()
+        for level in range(5):
+            module = compile_model(graph, level=level)
+            assert module.kernel_calls >= 1

@@ -1,0 +1,101 @@
+"""Grid-synchronisation semantics of merged kernels (paper Sec. 6.4, Fig. 7).
+
+These tests pin down exactly *which* dataflow shapes require a device-wide
+sync inside one kernel — the subtlest part of the kernel-merging model.
+"""
+
+import pytest
+
+from repro import SouffleCompiler, profile_module
+from repro.models import build_lstm
+from repro.analysis import characterize_program
+from repro.gpu import a100_40gb
+from repro.graph import GraphBuilder, lower_graph
+from repro.schedule import AnsorScheduler
+from repro.tir import build_kernel
+
+
+def one_kernel(make_graph):
+    b = GraphBuilder("sync")
+    out = make_graph(b)
+    program = lower_graph(b.build([out]))
+    chars = characterize_program(program)
+    device = a100_40gb()
+    return build_kernel(
+        "k", list(program.nodes), program, chars, {},
+        AnsorScheduler(device), device, allow_sync=True,
+    )
+
+
+class TestSyncRules:
+    def test_softmax_rowwise_chain_needs_no_sync(self):
+        """softmax's sum reduces each row locally: row-aligned, sync-free."""
+        kernel = one_kernel(lambda b: b.softmax(b.input((256, 128)), axis=-1))
+        assert kernel.spec.grid_syncs == 0
+
+    def test_full_sweep_reduce_needs_sync(self):
+        """A reduction consuming ALL of an in-kernel tensor per output
+        element must wait for it device-wide (LSTM GEMV pattern)."""
+
+        def g(b):
+            x = b.input((1, 256))
+            h = b.tanh(x)                       # produced in-kernel
+            w = b.weight((256, 1024))
+            return b.matmul(h, w)               # sweeps all of h per output
+
+        kernel = one_kernel(g)
+        assert kernel.spec.grid_syncs >= 1
+
+    def test_dependent_contractions_sync(self):
+        def g(b):
+            x = b.input((128, 128))
+            w1, w2 = b.weight((128, 128)), b.weight((128, 128))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        kernel = one_kernel(g)
+        assert kernel.spec.grid_syncs == 1
+
+    def test_epilogue_and_prologue_free(self):
+        """Elementwise before (prologue) and after (epilogue) a contraction
+        stay in its stage."""
+
+        def g(b):
+            x = b.input((128, 128))
+            w = b.weight((128, 128))
+            return b.relu(b.matmul(b.sigmoid(x), w))
+
+        kernel = one_kernel(g)
+        assert kernel.spec.grid_syncs == 0
+
+    def test_two_phase_reduce_syncs_before_consumer(self):
+        def g(b):
+            x = b.input((4, 8192))
+            total = b.reduce_sum(x, (1,))       # 4 outputs -> atomic
+            return b.relu(total)
+
+        kernel = one_kernel(g)
+        assert kernel.spec.atomic_bytes > 0
+        assert kernel.spec.grid_syncs == 1
+
+
+class TestLSTMWavefronts:
+    def test_sync_count_tracks_wavefronts(self):
+        """Fig. 7(b): one merged kernel, synchronising between wavefronts.
+
+        With T steps and N cells the dependence depth is ~(T + N) wavefronts,
+        each costing a couple of syncs (GEMV stage + state update)."""
+        steps, cells = 10, 4
+        module = SouffleCompiler().compile(
+            build_lstm(time_steps=steps, num_cells=cells)
+        )
+        assert len(module.kernels) == 1
+        syncs = module.kernels[0].spec.grid_syncs
+        wavefronts = steps + cells - 1
+        assert wavefronts <= syncs <= 4 * wavefronts
+
+    def test_more_steps_more_syncs(self):
+        short = SouffleCompiler().compile(build_lstm(time_steps=4, num_cells=2))
+        long = SouffleCompiler().compile(build_lstm(time_steps=8, num_cells=2))
+        assert (
+            long.kernels[0].spec.grid_syncs > short.kernels[0].spec.grid_syncs
+        )

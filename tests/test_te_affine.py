@@ -1,0 +1,155 @@
+"""Unit + property tests for quasi-affine maps (paper Sec. 5.2, Eq. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TEError
+from repro.te import (
+    AffineMap,
+    Var,
+    collect_reads,
+    compute,
+    extract_read_map,
+    linearize,
+    placeholder,
+    try_extract_read_map,
+)
+
+
+class TestLinearize:
+    def test_plain_var(self):
+        coeffs, const = linearize(Var("i"), ["i", "j"])
+        assert coeffs == {"i": 1} and const == 0
+
+    def test_affine_combination(self):
+        expr = Var("i") * 2 + Var("j") - 3
+        coeffs, const = linearize(expr, ["i", "j"])
+        assert coeffs == {"i": 2, "j": 1} and const == -3
+
+    def test_const_times_var(self):
+        coeffs, const = linearize(3 * Var("j"), ["i", "j"])
+        assert coeffs == {"j": 3}
+
+    def test_rejects_var_product(self):
+        with pytest.raises(TEError):
+            linearize(Var("i") * Var("j"), ["i", "j"])
+
+    def test_rejects_unknown_var(self):
+        with pytest.raises(TEError):
+            linearize(Var("z"), ["i", "j"])
+
+    def test_rejects_floordiv(self):
+        with pytest.raises(TEError):
+            linearize(Var("i") // 2, ["i"])
+
+
+class TestExtraction:
+    def test_identity_map(self):
+        a = placeholder((4, 8))
+        b = compute((4, 8), lambda i, j: a[i, j])
+        m = extract_read_map(collect_reads(b.op.body)[0], b.op.axes)
+        assert m.is_identity()
+
+    def test_transpose_map(self):
+        a = placeholder((4, 8))
+        b = compute((8, 4), lambda i, j: a[j, i])
+        m = extract_read_map(collect_reads(b.op.body)[0], b.op.axes)
+        assert m.matrix == ((0, 1), (1, 0))
+
+    def test_strided_slice_map(self):
+        a = placeholder((8, 8))
+        b = compute((4, 8), lambda i, j: a[2 * i, j])
+        m = extract_read_map(collect_reads(b.op.body)[0], b.op.axes)
+        assert m.matrix[0] == (2, 0)
+
+    def test_broadcast_row_map(self):
+        a = placeholder((8,))
+        b = compute((4, 8), lambda i, j: a[j])
+        m = extract_read_map(collect_reads(b.op.body)[0], b.op.axes)
+        assert m.matrix == ((0, 1),)
+
+    def test_try_extract_returns_none_for_nonaffine(self):
+        a = placeholder((8, 8))
+        b = compute((8, 8), lambda i, j: a[i // 2, j])
+        assert try_extract_read_map(collect_reads(b.op.body)[0], b.op.axes) is None
+
+
+class TestCompose:
+    def test_fig4_composition(self):
+        """The paper's Fig. 4: relu -> strided_slice -> permute composes to
+        [[0, 2], [1, 0]]."""
+        a = placeholder((4, 8), name="A")
+        b = compute((4, 8), lambda i, j: a[i, j])
+        c = compute((2, 8), lambda i, j: b[2 * i, j])
+        d = compute((8, 2), lambda i, j: c[j, i])
+        m_c = extract_read_map(collect_reads(c.op.body)[0], c.op.axes)
+        m_d = extract_read_map(collect_reads(d.op.body)[0], d.op.axes)
+        composed = m_c.compose(m_d)
+        assert composed.matrix == ((0, 2), (1, 0))
+        assert composed.offset == (0, 0)
+
+    def test_compose_matches_pointwise_application(self):
+        inner = AffineMap(((1, 0), (0, 2)), (1, 0))
+        outer = AffineMap(((0, 1), (1, 0)), (0, 3))
+        composed = outer.compose(inner)
+        for point in [(0, 0), (1, 2), (3, 1)]:
+            assert composed.apply(point) == outer.apply(inner.apply(point))
+
+    def test_arity_mismatch_rejected(self):
+        a = AffineMap(((1, 0),), (0,))      # 2 -> 1
+        b = AffineMap(((1, 0), (0, 1)), (0, 0))  # 2 -> 2
+        with pytest.raises(TEError):
+            b.compose(a)  # outer consumes 2, inner produces 1
+
+
+class TestRebuild:
+    def test_rebuild_round_trips(self):
+        m = AffineMap(((2, 0), (0, 1)), (1, 0))
+        exprs = m.rebuild_indices([Var("i"), Var("j")])
+        coeffs0, const0 = linearize(exprs[0], ["i", "j"])
+        assert coeffs0 == {"i": 2} and const0 == 1
+        coeffs1, const1 = linearize(exprs[1], ["i", "j"])
+        assert coeffs1 == {"j": 1} and const1 == 0
+
+
+@st.composite
+def affine_maps(draw, in_dim, out_dim):
+    matrix = tuple(
+        tuple(draw(st.integers(-3, 3)) for _ in range(out_dim))
+        for _ in range(in_dim)
+    )
+    offset = tuple(draw(st.integers(-5, 5)) for _ in range(in_dim))
+    return AffineMap(matrix, offset)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_compose_is_function_composition(data):
+    """Property: Eq. 2 — compose(f, g)(v) == f(g(v)) for random maps."""
+    d0 = data.draw(st.integers(1, 3))
+    d1 = data.draw(st.integers(1, 3))
+    d2 = data.draw(st.integers(1, 3))
+    inner = data.draw(affine_maps(d1, d0))   # d0 -> d1
+    outer = data.draw(affine_maps(d2, d1))   # d1 -> d2
+    composed = outer.compose(inner)
+    point = tuple(data.draw(st.integers(-4, 4)) for _ in range(d0))
+    assert composed.apply(point) == outer.apply(inner.apply(point))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_rebuild_then_extract_round_trips(data):
+    """Property: rebuilding index expressions and re-linearising them
+    recovers the same map."""
+    out_dim = data.draw(st.integers(1, 3))
+    in_dim = data.draw(st.integers(1, 3))
+    m = data.draw(affine_maps(in_dim, out_dim))
+    names = [f"v{k}" for k in range(out_dim)]
+    exprs = m.rebuild_indices([Var(n) for n in names])
+    for row, offset, expr in zip(m.matrix, m.offset, exprs):
+        coeffs, const = linearize(expr, names)
+        assert const == offset
+        for name, coeff in zip(names, row):
+            assert coeffs.get(name, 0) == coeff

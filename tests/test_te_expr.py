@@ -1,0 +1,157 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.errors import TEError
+from repro.te import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    IfThenElse,
+    IterVar,
+    Range,
+    Reduce,
+    Var,
+    call,
+    if_then_else,
+    maximum,
+    minimum,
+)
+from repro.te.expr import _wrap, intrinsic_flop_cost
+
+
+class TestWrap:
+    def test_int_becomes_const(self):
+        expr = _wrap(3)
+        assert isinstance(expr, Const)
+        assert expr.value == 3
+        assert expr.dtype == "int32"
+
+    def test_float_becomes_const(self):
+        expr = _wrap(2.5)
+        assert expr.dtype == "float32"
+
+    def test_bool_becomes_bool_const(self):
+        assert _wrap(True).dtype == "bool"
+
+    def test_expr_passthrough(self):
+        v = Var("i")
+        assert _wrap(v) is v
+
+    def test_itervar_unwraps_to_var(self):
+        iv = IterVar(Var("rk"), Range(0, 4), kind="reduce")
+        assert _wrap(iv) is iv.var
+
+    def test_rejects_junk(self):
+        with pytest.raises(TEError):
+            _wrap("hello")
+
+
+class TestOperators:
+    def test_add_builds_binop(self):
+        e = Var("i") + 1
+        assert isinstance(e, BinOp)
+        assert e.op == "add"
+        assert e.rhs == Const(1, "int32")
+
+    def test_radd(self):
+        e = 1 + Var("i")
+        assert isinstance(e, BinOp) and e.lhs == Const(1, "int32")
+
+    def test_mul_div_sub(self):
+        i = Var("i")
+        assert (i * 2).op == "mul"
+        assert (i / 2).op == "div"
+        assert (i - 2).op == "sub"
+        assert (2 - i).op == "sub"
+
+    def test_floordiv_mod(self):
+        i = Var("i")
+        assert (i // 4).op == "floordiv"
+        assert (i % 4).op == "mod"
+
+    def test_neg(self):
+        e = -Var("i")
+        assert e.op == "sub" and e.lhs == Const(0, "int32")
+
+    def test_comparisons_build_cmp(self):
+        i = Var("i")
+        for expr, op in [(i < 3, "lt"), (i <= 3, "le"), (i > 3, "gt"),
+                         (i >= 3, "ge"), (i.equal(3), "eq")]:
+            assert isinstance(expr, Cmp) and expr.op == op
+
+    def test_structural_equality(self):
+        assert (Var("i") + 1) == (Var("i") + 1)
+        assert (Var("i") + 1) != (Var("j") + 1)
+
+    def test_hashable(self):
+        assert hash(Var("i") + 1) == hash(Var("i") + 1)
+
+
+class TestValidation:
+    def test_bad_binop_rejected(self):
+        with pytest.raises(TEError):
+            BinOp("xor", Var("i"), Var("j"))
+
+    def test_bad_cmp_rejected(self):
+        with pytest.raises(TEError):
+            Cmp("almost", Var("i"), Var("j"))
+
+    def test_bad_intrinsic_rejected(self):
+        with pytest.raises(TEError):
+            call("softplus", Var("x"))
+
+    def test_known_intrinsic(self):
+        e = call("sigmoid", Var("x"))
+        assert isinstance(e, Call) and e.func == "sigmoid"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TEError):
+            Range(5, 2)
+
+    def test_range_extent(self):
+        assert Range(2, 10).extent == 8
+
+    def test_bad_itervar_kind(self):
+        with pytest.raises(TEError):
+            IterVar(Var("i"), Range(0, 4), kind="banana")
+
+
+class TestReduce:
+    def test_requires_reduce_axes(self):
+        spatial = IterVar(Var("i"), Range(0, 4), kind="spatial")
+        with pytest.raises(TEError):
+            Reduce("sum", Var("x"), (spatial,))
+
+    def test_requires_nonempty_axes(self):
+        with pytest.raises(TEError):
+            Reduce("sum", Var("x"), ())
+
+    def test_init_values(self):
+        rk = IterVar(Var("rk"), Range(0, 4), kind="reduce")
+        assert Reduce("sum", Var("x"), (rk,)).init == 0.0
+        assert Reduce("max", Var("x"), (rk,)).init == float("-inf")
+        assert Reduce("min", Var("x"), (rk,)).init == float("inf")
+
+    def test_bad_kind(self):
+        rk = IterVar(Var("rk"), Range(0, 4), kind="reduce")
+        with pytest.raises(TEError):
+            Reduce("prod", Var("x"), (rk,))
+
+
+class TestSelect:
+    def test_if_then_else_wraps_scalars(self):
+        e = if_then_else(Var("i") < 3, 1.0, 0.0)
+        assert isinstance(e, IfThenElse)
+        assert isinstance(e.then_value, Const)
+
+    def test_min_max_helpers(self):
+        assert maximum(Var("i"), 0).op == "max"
+        assert minimum(Var("i"), 5).op == "min"
+
+
+def test_intrinsic_costs_positive():
+    for func in ("exp", "tanh", "sigmoid", "gelu", "relu"):
+        assert intrinsic_flop_cost(func) >= 1
+    assert intrinsic_flop_cost("cast_fp16") == 0

@@ -1,0 +1,98 @@
+"""Unit tests for tensors and the compute/placeholder builders."""
+
+import pytest
+
+from repro.errors import TEError
+from repro.te import (
+    Reduce,
+    TensorRead,
+    compute,
+    dtype_bytes,
+    max_expr,
+    placeholder,
+    reduce_axis,
+    sum_expr,
+)
+
+
+class TestPlaceholder:
+    def test_basic(self):
+        t = placeholder((4, 8), name="A")
+        assert t.is_placeholder and t.shape == (4, 8) and t.ndim == 2
+
+    def test_size_accounting(self):
+        t = placeholder((4, 8), dtype="float16")
+        assert t.num_elements == 32
+        assert t.size_bytes == 64
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(TEError):
+            placeholder(())
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(TEError):
+            placeholder((4, 0))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TEError):
+            placeholder((4,), dtype="complex128")
+
+    def test_auto_names_unique(self):
+        a, b = placeholder((2,)), placeholder((2,))
+        assert a.name != b.name
+
+
+class TestIndexing:
+    def test_getitem_builds_read(self):
+        t = placeholder((4, 8))
+        read = t[1, 2]
+        assert isinstance(read, TensorRead)
+        assert read.tensor is t
+
+    def test_single_index(self):
+        t = placeholder((4,))
+        assert isinstance(t[2], TensorRead)
+
+    def test_arity_mismatch_rejected(self):
+        t = placeholder((4, 8))
+        with pytest.raises(TEError):
+            t[1]
+
+
+class TestCompute:
+    def test_elementwise(self):
+        a = placeholder((4, 8))
+        b = compute((4, 8), lambda i, j: a[i, j] * 2, name="B")
+        assert not b.is_placeholder
+        assert len(b.op.axes) == 2
+        assert b.op.reduce_axes == ()
+
+    def test_reduction(self):
+        a = placeholder((4, 8))
+        rk = reduce_axis((0, 8), name="rk")
+        s = compute((4,), lambda i: sum_expr(a[i, rk], [rk]))
+        assert isinstance(s.op.body, Reduce)
+        assert s.op.reduce_axes[0].extent == 8
+
+    def test_axis_extents_match_shape(self):
+        c = compute((3, 5), lambda i, j: i + j)
+        assert [ax.extent for ax in c.op.axes] == [3, 5]
+
+    def test_max_reduction(self):
+        a = placeholder((4, 8))
+        rk = reduce_axis((0, 8))
+        m = compute((4,), lambda i: max_expr(a[i, rk], [rk]))
+        assert m.op.body.kind == "max"
+
+
+def test_dtype_bytes_table():
+    assert dtype_bytes("float16") == 2
+    assert dtype_bytes("float32") == 4
+    assert dtype_bytes("int64") == 8
+    with pytest.raises(TEError):
+        dtype_bytes("bfloat16")
+
+
+def test_reduce_axis_kind():
+    rk = reduce_axis((0, 16), name="rk")
+    assert rk.kind == "reduce" and rk.extent == 16

@@ -1,0 +1,130 @@
+"""Unit tests for expression traversal and rewriting."""
+
+import pytest
+
+from repro.errors import TEError
+from repro.te import (
+    BinOp,
+    Const,
+    TensorRead,
+    Var,
+    call,
+    collect_reads,
+    compute,
+    contains_reduce,
+    count_nodes,
+    free_vars,
+    input_tensors,
+    placeholder,
+    reduce_axis,
+    replace_tensor_reads,
+    rewrite,
+    substitute_vars,
+    sum_expr,
+    walk,
+)
+from repro.te.traversal import rename_reduce_axes, validate_closed
+
+
+@pytest.fixture()
+def sample():
+    a = placeholder((4, 4), name="A")
+    b = placeholder((4, 4), name="B")
+    expr = a[Var("i"), Var("j")] * 2 + b[Var("i"), Var("j")]
+    return a, b, expr
+
+
+class TestWalk:
+    def test_walk_yields_all_nodes(self, sample):
+        _, _, expr = sample
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert "BinOp" in kinds and "TensorRead" in kinds and "Const" in kinds
+
+    def test_count_nodes(self, sample):
+        _, _, expr = sample
+        assert count_nodes(expr) == len(list(walk(expr)))
+
+    def test_collect_reads_in_order(self, sample):
+        a, b, expr = sample
+        reads = collect_reads(expr)
+        assert [r.tensor for r in reads] == [a, b]
+
+    def test_input_tensors_dedups(self):
+        a = placeholder((4,), name="A")
+        expr = a[Var("i")] + a[Var("i")]
+        assert input_tensors(expr) == [a]
+
+    def test_free_vars(self, sample):
+        _, _, expr = sample
+        assert free_vars(expr) == {"i", "j"}
+
+    def test_contains_reduce(self):
+        a = placeholder((4, 4))
+        rk = reduce_axis((0, 4))
+        red = compute((4,), lambda i: sum_expr(a[i, rk], [rk]))
+        elem = compute((4, 4), lambda i, j: a[i, j])
+        assert contains_reduce(red.op.body)
+        assert not contains_reduce(elem.op.body)
+
+
+class TestRewrite:
+    def test_identity_rewrite_preserves_object(self, sample):
+        _, _, expr = sample
+        assert rewrite(expr, lambda node: None) is expr
+
+    def test_targeted_rewrite(self, sample):
+        _, _, expr = sample
+
+        def double_consts(node):
+            if isinstance(node, Const) and node.value == 2:
+                return Const(4, node.dtype)
+            return None
+
+        rewritten = rewrite(expr, double_consts)
+        assert rewritten is not expr
+        assert any(
+            isinstance(n, Const) and n.value == 4 for n in walk(rewritten)
+        )
+
+    def test_substitute_vars(self):
+        expr = Var("i") + Var("j")
+        out = substitute_vars(expr, {"i": Const(5, "int32")})
+        assert free_vars(out) == {"j"}
+
+    def test_replace_tensor_reads(self, sample):
+        a, b, expr = sample
+        c = placeholder((4, 4), name="C")
+
+        def redirect(read):
+            if read.tensor is a:
+                return TensorRead(c, read.indices)
+            return None
+
+        out = replace_tensor_reads(expr, redirect)
+        tensors = [r.tensor for r in collect_reads(out)]
+        assert c in tensors and a not in tensors and b in tensors
+
+
+class TestReduceRenaming:
+    def test_rename_reduce_axes(self):
+        a = placeholder((4, 4))
+        rk = reduce_axis((0, 4), name="rk")
+        body = sum_expr(a[Var("i"), rk], [rk])
+        renamed = rename_reduce_axes(body, "_x")
+        assert renamed.axes[0].name == "rk_x"
+        assert "rk_x" in free_vars(renamed.body)
+        assert "rk" not in free_vars(renamed.body)
+
+
+class TestValidateClosed:
+    def test_accepts_bound(self):
+        a = placeholder((4, 4))
+        rk = reduce_axis((0, 4))
+        tensor = compute((4,), lambda i: sum_expr(a[i, rk], [rk]))
+        validate_closed(tensor.op.body, tensor.op.axes)
+
+    def test_rejects_dangling(self):
+        a = placeholder((4,))
+        expr = a[Var("mystery")]
+        with pytest.raises(TEError):
+            validate_closed(expr, ())

@@ -1,0 +1,175 @@
+"""Tests for merged-kernel construction (paper Sec. 6.4-6.5)."""
+
+import pytest
+
+from repro.analysis import characterize_program
+from repro.errors import CodegenError
+from repro.gpu import a100_40gb
+from repro.graph import GraphBuilder, lower_graph
+from repro.schedule import AnsorScheduler
+from repro.tir import GridSync, apply_pipeline, apply_reuse, build_kernel
+from repro.tir.stmt import ComputeStmt, Predicate
+
+
+@pytest.fixture()
+def device():
+    return a100_40gb()
+
+
+def build(device, make_graph, allow_sync=True):
+    b = GraphBuilder("k")
+    out = make_graph(b)
+    program = lower_graph(b.build([out]))
+    chars = characterize_program(program)
+    scheduler = AnsorScheduler(device)
+    kernel = build_kernel(
+        "kernel", list(program.nodes), program, chars, {}, scheduler, device,
+        allow_sync=allow_sync,
+    )
+    return program, chars, kernel
+
+
+class TestStages:
+    def test_gemm_epilogue_shares_stage(self, device):
+        _, _, kernel = build(
+            device,
+            lambda b: b.sigmoid(b.matmul(b.input((64, 64)), b.weight((64, 64)))),
+        )
+        assert kernel.spec.grid_syncs == 0
+
+    def test_dependent_gemms_sync(self, device):
+        def g(b):
+            x = b.input((64, 64))
+            w1, w2 = b.weight((64, 64)), b.weight((64, 64))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        _, _, kernel = build(device, g)
+        assert kernel.spec.grid_syncs == 1
+        assert any(isinstance(s, GridSync) for s in kernel.function.stmts)
+
+    def test_atomic_reduce_forces_sync(self, device):
+        def g(b):
+            x = b.input((4, 4096))
+            return b.relu(b.reduce_sum(x, (1,)))  # two-phase reduce + consumer
+
+        _, _, kernel = build(device, g)
+        assert kernel.spec.grid_syncs == 1
+        assert kernel.spec.atomic_bytes > 0
+
+    def test_rowwise_reduce_chain_syncfree(self, device):
+        def g(b):
+            x = b.input((512, 64))
+            return b.relu(b.reduce_sum(x, (1,)))
+
+        _, _, kernel = build(device, g, allow_sync=False)
+        assert kernel.spec.grid_syncs == 0
+
+    def test_sync_disabled_raises(self, device):
+        def g(b):
+            x = b.input((64, 64))
+            w1, w2 = b.weight((64, 64)), b.weight((64, 64))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        with pytest.raises(CodegenError):
+            build(device, g, allow_sync=False)
+
+
+class TestTraffic:
+    def test_fused_epilogue_elides_intermediate(self, device):
+        """GEMM+sigmoid in one kernel: the GEMM output never hits DRAM."""
+        program, _, kernel = build(
+            device,
+            lambda b: b.sigmoid(b.matmul(b.input((64, 64)), b.weight((64, 64)))),
+        )
+        gemm_out = program.nodes[0].tensor
+        stores = [
+            a for a in kernel.accesses
+            if a.kind == "store" and a.tensor is gemm_out
+        ]
+        assert stores and stores[0].internal
+
+    def test_cross_sync_intermediate_pays_round_trip(self, device):
+        def g(b):
+            x = b.input((64, 64))
+            w1, w2 = b.weight((64, 64)), b.weight((64, 64))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        program, _, kernel = build(device, g)
+        mid = program.nodes[0].tensor
+        loads = [
+            a for a in kernel.accesses
+            if a.kind == "load" and a.tensor is mid
+        ]
+        assert loads and loads[0].nbytes == mid.size_bytes
+
+    def test_external_params_collected(self, device):
+        program, _, kernel = build(
+            device,
+            lambda b: b.matmul(b.input((32, 32)), b.weight((32, 32))),
+        )
+        names = {p.name for p in kernel.function.params}
+        assert len(names) == 3  # x, w, out
+
+
+class TestOptimisations:
+    def test_reuse_pass_reduces_traffic(self, device):
+        def g(b):
+            x = b.input((64, 64))
+            w1, w2 = b.weight((64, 64)), b.weight((64, 64))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        _, _, kernel = build(device, g)
+        before = kernel.spec.load_bytes + kernel.spec.store_bytes
+        kernel.reuse_report = apply_reuse(kernel.accesses, capacity=1 << 24)
+        kernel.refresh_traffic()
+        after = kernel.spec.load_bytes + kernel.spec.store_bytes
+        assert after < before
+
+    def test_pipeline_applies_to_merged_ci_kernels(self, device):
+        program, chars, kernel = build(
+            device,
+            lambda b: b.sigmoid(b.matmul(b.input((64, 64)), b.weight((64, 64)))),
+        )
+        assert apply_pipeline(kernel, list(program.nodes), chars)
+        assert kernel.spec.pipelined
+
+    def test_pipeline_skips_single_te(self, device):
+        program, chars, kernel = build(
+            device, lambda b: b.matmul(b.input((32, 32)), b.weight((32, 32)))
+        )
+        assert not apply_pipeline(kernel, list(program.nodes), chars)
+
+    def test_pipeline_skips_memory_only(self, device):
+        program, chars, kernel = build(
+            device, lambda b: b.sigmoid(b.relu(b.input((32, 32))))
+        )
+        assert not apply_pipeline(kernel, list(program.nodes), chars)
+
+
+class TestRendering:
+    def test_render_contains_structure(self, device):
+        def g(b):
+            x = b.input((64, 64))
+            w1, w2 = b.weight((64, 64)), b.weight((64, 64))
+            return b.matmul(b.matmul(x, w1), w2)
+
+        _, _, kernel = build(device, g)
+        text = kernel.function.render()
+        assert "__global__" in text
+        assert "grid.sync()" in text
+        assert "ldg2s" in text and "sts2g" in text
+        assert "blockIdx.x <" in text
+
+    def test_predicates_cover_stages(self, device):
+        _, _, kernel = build(
+            device,
+            lambda b: b.sigmoid(b.matmul(b.input((64, 64)), b.weight((64, 64)))),
+        )
+        predicates = [
+            s for s in kernel.function.stmts if isinstance(s, Predicate)
+        ]
+        assert predicates
+        compute_stmts = [
+            s for p in predicates for s in p.body if isinstance(s, ComputeStmt)
+        ]
+        assert len(compute_stmts) == 2

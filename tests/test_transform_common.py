@@ -1,0 +1,55 @@
+"""Tests for the shared transformation machinery (toposort/rebuild)."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.graph import GraphBuilder, lower_graph
+from repro.graph.te_program import TENode
+from repro.te import compute, placeholder
+from repro.transform.common import rebuild, toposort_nodes
+
+
+@pytest.fixture()
+def diamond():
+    b = GraphBuilder("d")
+    x = b.input((4, 4), name="x")
+    left = b.relu(x)
+    right = b.sigmoid(x)
+    out = b.add(left, right)
+    return lower_graph(b.build([out]))
+
+
+class TestToposort:
+    def test_preserves_valid_order(self, diamond):
+        ordered = toposort_nodes(diamond.inputs, diamond.nodes)
+        assert [n.name for n in ordered] == [n.name for n in diamond.nodes]
+
+    def test_repairs_shuffled_order(self, diamond):
+        shuffled = list(reversed(diamond.nodes))
+        ordered = toposort_nodes(diamond.inputs, shuffled)
+        position = {n: i for i, n in enumerate(ordered)}
+        for node in ordered:
+            for producer in diamond.node_producers(node):
+                assert position[producer] < position[node]
+
+    def test_stability_prefers_original_positions(self, diamond):
+        """Independent nodes keep their relative order (Kahn with an
+        index-ordered frontier)."""
+        ordered = toposort_nodes(diamond.inputs, diamond.nodes)
+        names = [n.name for n in ordered]
+        assert names.index(diamond.nodes[0].name) < names.index(
+            diamond.nodes[1].name
+        )
+
+    def test_unknown_tensor_rejected(self):
+        ghost = placeholder((4,), name="ghost")
+        t = compute((4,), lambda i: ghost[i] + 1, name="t")
+        node = TENode(0, t, "op", "add")
+        with pytest.raises(TransformError):
+            toposort_nodes([], [node])
+
+    def test_rebuild_renumbers(self, diamond):
+        shuffled = list(reversed(diamond.nodes))
+        program = rebuild(diamond, shuffled, diamond.outputs)
+        assert [n.index for n in program.nodes] == list(range(len(program)))
+        assert program.outputs[0] is diamond.outputs[0]

@@ -1,0 +1,154 @@
+"""Tests for horizontal TE transformation (paper Sec. 6.1, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, lower_graph
+from repro.te import Reduce
+from repro.transform import check_equivalent, horizontal_transform
+
+
+def lower(build, name="h"):
+    b = GraphBuilder(name)
+    outs = build(b)
+    return lower_graph(b.build(outs if isinstance(outs, list) else [outs]))
+
+
+class TestFig3:
+    def test_two_gemms_sharing_reduction_merge(self):
+        """Fig. 3: (4,16) and (2,16) GEMMs sharing rk concat to (6,16)."""
+
+        def build(b):
+            a1, b1 = b.input((4, 8), name="A1"), b.weight((8, 16))
+            a2, b2 = b.input((2, 8), name="A2"), b.weight((8, 16))
+            shared = b.input((8, 16), name="shared")
+            c1 = b.matmul(a1, shared)
+            c2 = b.matmul(a2, shared)
+            return [c1, c2]
+
+        # Outputs may not merge; consume them so they are interior TEs.
+        b = GraphBuilder("fig3")
+        a1 = b.input((4, 8), name="A1")
+        a2 = b.input((2, 8), name="A2")
+        shared = b.weight((8, 16), name="B")
+        c1 = b.matmul(a1, shared)
+        c2 = b.matmul(a2, shared)
+        out = b.add(b.reduce_sum(c1, (0,), keepdims=True),
+                    b.reduce_sum(c2, (0,), keepdims=True))
+        program = lower_graph(b.build([out]))
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups == 1
+        merged = next(n for n in transformed if n.name.startswith("hz"))
+        assert merged.tensor.shape == (6, 16)
+        assert isinstance(merged.tensor.op.body, Reduce)
+        assert check_equivalent(program, transformed)
+
+    def test_merged_body_uses_single_hoisted_reduction(self):
+        b = GraphBuilder("hr")
+        x = b.input((4, 8), name="x")
+        w1, w2 = b.weight((8, 8)), b.weight((8, 8))
+        y = b.add(b.matmul(x, w1), b.matmul(x, w2))
+        program = lower_graph(b.build([y]))
+        transformed, _ = horizontal_transform(program)
+        merged = next(n for n in transformed if n.name.startswith("hz"))
+        body = merged.tensor.op.body
+        assert isinstance(body, Reduce)
+        # exactly one Reduce node in the whole body
+        from repro.te import walk
+
+        assert sum(1 for n in walk(body) if isinstance(n, Reduce)) == 1
+
+
+class TestQKV:
+    def test_qkv_merge(self):
+        def build(b):
+            x = b.input((16, 32), name="x")
+            ws = [b.weight((32, 32)) for _ in range(3)]
+            q, k, v = (b.matmul(x, w) for w in ws)
+            qk = b.matmul(q, b.transpose(k, (1, 0)))
+            return b.matmul(b.softmax(b.scale(qk, 0.2)), v)
+
+        program = lower(build, "qkv")
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups == 1
+        merged_name, members = report.merged[0]
+        assert len(members) == 3
+        merged = next(n for n in transformed if n.name == merged_name)
+        assert merged.tensor.shape == (16, 96)
+        assert check_equivalent(program, transformed)
+
+
+class TestGuards:
+    def test_dependent_consumers_not_merged(self):
+        def build(b):
+            x = b.input((4, 8), name="x")
+            w = b.weight((8, 8))
+            y = b.matmul(x, w)       # reads x
+            z = b.matmul(y, w)       # depends on y
+            # both read w — but they are dependent
+            return z
+
+        program = lower(build, "dep")
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups == 0
+
+    def test_shape_incompatible_not_merged(self):
+        def build(b):
+            x = b.input((4, 8), name="x")
+            a = b.matmul(x, b.weight((8, 16)))       # (4, 16)
+            c = b.reduce_sum(x, (1,))                 # (4,) reduce over 8
+            return [b.relu(a), b.relu(c)]
+
+        program = lower(build, "shape")
+        transformed, report = horizontal_transform(program)
+        for _, members in report.merged:
+            assert len(members) >= 2  # whatever merged was legal
+        assert check_equivalent(program, transformed)
+
+    def test_outputs_not_merged(self):
+        def build(b):
+            x = b.input((4, 8), name="x")
+            w1, w2 = b.weight((8, 8)), b.weight((8, 8))
+            return [b.matmul(x, w1), b.matmul(x, w2)]
+
+        program = lower(build, "outs")
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups == 0
+        assert len(transformed.outputs) == 2
+
+    def test_max_branches_respected(self):
+        b = GraphBuilder("wide")
+        x = b.input((1, 16), name="x")
+        experts = [b.relu(b.matmul(x, b.weight((16, 8)))) for _ in range(6)]
+        out = b.concat(experts, axis=0)
+        program = lower_graph(b.build([out]))
+        transformed, report = horizontal_transform(program, max_branches=3)
+        if report.merged:
+            for _, members in report.merged:
+                assert len(members) <= 3
+        assert check_equivalent(program, transformed)
+
+
+class TestElementwiseMerge:
+    def test_independent_elementwise_consumers_merge(self):
+        """Two activations reading the same tensor concat into one TE."""
+
+        def build(b):
+            x = b.input((4, 8), name="x")
+            s = b.sigmoid(x)
+            t = b.tanh(x)
+            return b.add(s, t)
+
+        program = lower(build, "et")
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups == 1
+        assert check_equivalent(program, transformed)
+
+    def test_lstm_gate_slices_merge(self):
+        from repro.models import build_lstm_tiny
+
+        program = lower_graph(build_lstm_tiny())
+        transformed, report = horizontal_transform(program)
+        assert report.num_merged_groups > 0
+        assert len(transformed) < len(program)
+        assert check_equivalent(program, transformed)
