@@ -16,6 +16,7 @@ Quick start::
     print(report.render())
 """
 
+from repro.cache import CompileCache, ModuleCache, ScheduleCache
 from repro.core.config import SouffleOptions
 from repro.core.souffle import SouffleCompiler, compile_model
 from repro.gpu.device import GPUSpec, a100_40gb, v100_16gb
@@ -28,10 +29,13 @@ from repro.runtime.profiler import ProfileReport, profile_module
 __version__ = "0.1.0"
 
 __all__ = [
+    "CompileCache",
     "CompiledModule",
     "GPUSpec",
     "GraphBuilder",
+    "ModuleCache",
     "ProfileReport",
+    "ScheduleCache",
     "SouffleCompiler",
     "SouffleOptions",
     "a100_40gb",

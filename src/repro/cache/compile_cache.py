@@ -1,0 +1,89 @@
+"""The two-tier compile cache handed to :class:`SouffleCompiler`.
+
+Layout under one cache directory::
+
+    <dir>/schedules/<k0k1>/<key>.json   per-TE optimised schedules
+    <dir>/modules/<k0k1>/<key>.json     whole compiled modules
+
+Either tier can be disabled independently (the differential tests exercise
+the schedule tier with the module tier off, proving the cached-schedule
+pipeline emits the same kernels as a fresh search).
+
+Resolution rules for ``SouffleCompiler(cache=...)``:
+
+* ``None`` (default): use ``$REPRO_CACHE_DIR`` if set, else no cache;
+* ``False``: never cache, even with the environment variable set;
+* a path string: persistent cache rooted there;
+* a :class:`CompileCache`: used as given (share one across compilers to
+  share its in-memory LRU front).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.cache.module_cache import ModuleCache
+from repro.cache.schedule_cache import ScheduleCache
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[str]:
+    """The cache directory named by ``$REPRO_CACHE_DIR``, if any."""
+    directory = os.environ.get(CACHE_DIR_ENV)
+    return os.path.expanduser(directory) if directory else None
+
+
+class CompileCache:
+    """Bundles the schedule and module tiers under one directory."""
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        schedules: bool = True,
+        modules: bool = True,
+        schedule_capacity: int = 4096,
+        module_capacity: int = 64,
+    ) -> None:
+        self.directory = directory
+
+        def subdir(name: str) -> Optional[str]:
+            return os.path.join(directory, name) if directory else None
+
+        self.schedules: Optional[ScheduleCache] = (
+            ScheduleCache(subdir("schedules"), capacity=schedule_capacity)
+            if schedules
+            else None
+        )
+        self.modules: Optional[ModuleCache] = (
+            ModuleCache(subdir("modules"), capacity=module_capacity)
+            if modules
+            else None
+        )
+
+    def __repr__(self) -> str:
+        tiers = [
+            name
+            for name, tier in (("schedules", self.schedules), ("modules", self.modules))
+            if tier is not None
+        ]
+        where = self.directory or "memory"
+        return f"<CompileCache {where}: {'+'.join(tiers) or 'disabled'}>"
+
+
+def resolve_compile_cache(
+    cache: Union[None, bool, str, os.PathLike, CompileCache]
+) -> Optional[CompileCache]:
+    """Normalise the ``cache`` constructor argument to a ``CompileCache``."""
+    if cache is None:
+        directory = default_cache_dir()
+        return CompileCache(directory) if directory else None
+    if cache is False:
+        return None
+    if cache is True:
+        return CompileCache(default_cache_dir())
+    if isinstance(cache, (str, os.PathLike)):
+        return CompileCache(os.path.expanduser(os.fspath(cache)))
+    return cache

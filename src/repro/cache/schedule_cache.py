@@ -1,0 +1,113 @@
+"""The per-TE schedule tier of the compile cache.
+
+A :class:`repro.schedule.schedule.TESchedule` is pure data apart from the
+``node`` it targets, so it round-trips losslessly through JSON; on a hit the
+record is re-targeted at the requesting node (exactly how the schedulers'
+in-memory memoisation already re-targets structurally identical TEs).
+
+Keys come from :func:`repro.cache.keys.schedule_cache_key`: the scheduler
+implementation, the device model, the compiler options and the TE structure
+all participate, so a Roller schedule can never satisfy an Ansor lookup and
+an A100 schedule can never leak onto a V100.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.cache.store import CacheStats, JsonStore
+from repro.errors import ScheduleError
+from repro.graph.te_program import TENode
+from repro.schedule.schedule import ScheduleStep, TESchedule
+
+SCHEDULE_STORE_FORMAT = "repro-schedule-cache"
+SCHEDULE_STORE_VERSION = 1
+
+
+def schedule_to_record(schedule: TESchedule) -> Dict[str, Any]:
+    """Serialise a schedule to a JSON-able dict (node identity excluded)."""
+    return {
+        "kind": schedule.kind,
+        "tile": list(schedule.tile),
+        "grid_blocks": schedule.grid_blocks,
+        "threads_per_block": schedule.threads_per_block,
+        "shared_mem_per_block": schedule.shared_mem_per_block,
+        "regs_per_thread": schedule.regs_per_thread,
+        "use_tensor_core": schedule.use_tensor_core,
+        "load_bytes": schedule.load_bytes,
+        "store_bytes": schedule.store_bytes,
+        "fp16_flops": schedule.fp16_flops,
+        "fp32_flops": schedule.fp32_flops,
+        "atomic_bytes": schedule.atomic_bytes,
+        "steps": [[step.primitive, step.detail] for step in schedule.steps],
+    }
+
+
+def schedule_from_record(record: Dict[str, Any], node: TENode) -> TESchedule:
+    """Rebuild a schedule from its record, targeted at ``node``."""
+    try:
+        return TESchedule(
+            node=node,
+            kind=record["kind"],
+            tile=tuple(record["tile"]),
+            grid_blocks=record["grid_blocks"],
+            threads_per_block=record["threads_per_block"],
+            shared_mem_per_block=record["shared_mem_per_block"],
+            regs_per_thread=record["regs_per_thread"],
+            use_tensor_core=record["use_tensor_core"],
+            load_bytes=record["load_bytes"],
+            store_bytes=record["store_bytes"],
+            fp16_flops=record["fp16_flops"],
+            fp32_flops=record["fp32_flops"],
+            atomic_bytes=record.get("atomic_bytes", 0.0),
+            steps=[
+                ScheduleStep(primitive, detail)
+                for primitive, detail in record.get("steps", [])
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleError(f"malformed cached schedule record: {exc}") from exc
+
+
+class ScheduleCache:
+    """Persistent, content-addressed store of optimised TE schedules."""
+
+    def __init__(
+        self, directory: Optional[str] = None, capacity: int = 4096
+    ) -> None:
+        self._store = JsonStore(
+            directory,
+            format_name=SCHEDULE_STORE_FORMAT,
+            version=SCHEDULE_STORE_VERSION,
+            capacity=capacity,
+        )
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._store.directory
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._store.stats
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def load(self, key: str, node: TENode) -> Optional[TESchedule]:
+        """The cached schedule for ``key`` re-targeted at ``node``, if any."""
+        record = self._store.get(key)
+        if record is None:
+            return None
+        try:
+            return schedule_from_record(record, node)
+        except ScheduleError:
+            # A record that deserialises but does not validate is as good as
+            # corrupt: drop it from the front and fall back to a fresh build.
+            self._store.stats.load_errors += 1
+            return None
+
+    def store(self, key: str, schedule: TESchedule) -> None:
+        self._store.put(key, schedule_to_record(schedule))

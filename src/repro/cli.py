@@ -8,12 +8,18 @@ Usage::
     python -m repro memory bert
     python -m repro export swin /tmp/swin.json
     python -m repro compile /tmp/swin.json      # compile an exported graph
+    python -m repro compile-stats bert --cache-dir /tmp/cache --repeat 2
+
+``compile`` and ``compile-stats`` honour ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) for the persistent compile cache
+and ``--jobs`` for the parallel subprogram build pool.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional
 
 from repro.core.config import SouffleOptions
@@ -22,6 +28,7 @@ from repro.frontends.serialize import load_graph, save_graph
 from repro.graph.graph import Graph
 from repro.graph.lowering import lower_graph
 from repro.models import PAPER_MODELS, get_model
+from repro.runtime.module import CompileStats
 from repro.runtime.profiler import profile_module
 
 
@@ -37,17 +44,79 @@ def _resolve_model(spec: str) -> Graph:
     )
 
 
+def _compiler_from_args(args: argparse.Namespace,
+                        validate: bool = False) -> SouffleCompiler:
+    jobs = getattr(args, "jobs", 1)
+    if jobs is not None and jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0, got {jobs}")
+    return SouffleCompiler(
+        options=SouffleOptions.from_level(args.level, validate=validate),
+        cache=getattr(args, "cache_dir", None),
+        max_workers=None if jobs == 0 else jobs,
+    )
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     graph = _resolve_model(args.model)
-    compiler = SouffleCompiler(
-        options=SouffleOptions.from_level(args.level, validate=args.validate)
-    )
+    compiler = _compiler_from_args(args, validate=args.validate)
     module = compiler.compile(graph)
     report = profile_module(module)
     print(report.render(top=args.top))
     print(f"\ncompile phases (s): "
           + ", ".join(f"{k}={v:.3f}"
                       for k, v in module.stats.phase_seconds.items()))
+    return 0
+
+
+def render_compile_stats(stats: CompileStats, top: int = 8) -> str:
+    """Human-readable compile observability report (``compile-stats``)."""
+    lines = ["compile phases:"]
+    for phase, seconds in stats.phase_seconds.items():
+        lines.append(f"  {phase:22s} {seconds:9.4f} s")
+    lines.append(f"  {'total':22s} {stats.total_seconds:9.4f} s")
+    if stats.subprogram_seconds:
+        slowest = sorted(
+            stats.subprogram_seconds.items(), key=lambda kv: -kv[1]
+        )[:top]
+        lines.append(
+            f"subprograms: {len(stats.subprogram_seconds)} built, slowest:"
+        )
+        for name, seconds in slowest:
+            lines.append(f"  {name:22s} {seconds:9.4f} s")
+    if stats.schedule_cache_lookups:
+        lines.append(
+            f"schedule cache: {stats.schedule_cache_hits} hits / "
+            f"{stats.schedule_cache_misses} misses "
+            f"({stats.schedule_cache_hit_rate * 100:.1f}% hit rate)"
+        )
+    else:
+        lines.append("schedule cache: disabled")
+    lines.append(
+        "module cache: " + ("hit" if stats.module_cache_hit else "miss")
+    )
+    lines.append(f"schedule trials: {stats.schedule_trials}")
+    workers = f"parallel workers: {stats.parallel_workers}"
+    if stats.parallel_fallback:
+        workers += " (fell back to serial)"
+    lines.append(workers)
+    return "\n".join(lines)
+
+
+def cmd_compile_stats(args: argparse.Namespace) -> int:
+    graph = _resolve_model(args.model)
+    for attempt in range(1, args.repeat + 1):
+        compiler = _compiler_from_args(args)
+        start = time.perf_counter()
+        module = compiler.compile(graph)
+        wall = time.perf_counter() - start
+        print(
+            f"run {attempt}/{args.repeat}: {args.model} "
+            f"[{module.compiler}] — {wall:.4f} s wall, "
+            f"{module.kernel_calls} kernels"
+        )
+        print(render_compile_stats(module.stats, top=args.top))
+        if attempt < args.repeat:
+            print()
     return 0
 
 
@@ -106,13 +175,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--level", type=int, default=4, choices=range(5),
                        help="optimisation level V0..V4 (default 4)")
 
+    def add_accel(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent compile-cache directory "
+                            "(default: $REPRO_CACHE_DIR if set)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="parallel subprogram build workers "
+                            "(0 = auto-size to the machine; default 1)")
+
     p = sub.add_parser("compile", help="compile and profile a model")
     add_common(p)
+    add_accel(p)
     p.add_argument("--validate", action="store_true",
                    help="differentially check every transformation")
     p.add_argument("--top", type=int, default=15,
                    help="profile rows to print")
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "compile-stats",
+        help="compile and report phase/subprogram timings and cache hit rates",
+    )
+    add_common(p)
+    add_accel(p)
+    p.add_argument("--repeat", type=int, default=1,
+                   help="compile N times (shows warm-cache behaviour)")
+    p.add_argument("--top", type=int, default=8,
+                   help="slowest subprograms to print")
+    p.set_defaults(fn=cmd_compile_stats)
 
     p = sub.add_parser("compare", help="Souffle vs all six baselines")
     add_common(p)

@@ -13,16 +13,29 @@ orders produce the same kernels here because partition boundaries anchor on
 compute-intensive TEs, which the transformations never dissolve; doing the
 transforms first lets partitioning see the cleaned program (fewer TEs, the
 merged horizontal contractions) and keeps each pass whole-program.
+
+Compile acceleration (``repro.cache`` + ``repro.core.parallel``): a
+persistent two-tier cache makes repeat compilation near-free (per-TE
+schedules, then whole modules), and independent subprograms are built by a
+worker pool. Both paths are provably inert — the differential suite asserts
+cold/warm/serial/parallel compiles emit byte-identical kernels.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.characterize import characterize_program
 from repro.analysis.partition import Partitioner
+from repro.cache import (
+    CompileCache,
+    module_cache_key,
+    resolve_compile_cache,
+)
 from repro.core.config import SouffleOptions
 from repro.core.grouping import ANSOR_RULES, epilogue_groups
+from repro.core.parallel import WorkerPool
 from repro.gpu.device import GPUSpec, a100_40gb
 from repro.graph.graph import Graph
 from repro.graph.lowering import lower_graph
@@ -38,7 +51,13 @@ from repro.transform.vertical import vertical_transform
 
 
 class SouffleCompiler:
-    """Top-down DNN inference compiler over tensor expressions."""
+    """Top-down DNN inference compiler over tensor expressions.
+
+    ``cache`` accepts ``None`` (honour ``$REPRO_CACHE_DIR``), ``False``
+    (never cache), a directory path, or a :class:`repro.cache.CompileCache`.
+    ``max_workers`` sizes the subprogram build pool (``None`` auto-sizes,
+    ``0``/``1`` force a serial build).
+    """
 
     name = "souffle"
 
@@ -47,39 +66,111 @@ class SouffleCompiler:
         device: Optional[GPUSpec] = None,
         options: Optional[SouffleOptions] = None,
         scheduler_factory=AnsorScheduler,
+        cache=None,
+        max_workers: Optional[int] = 1,
     ) -> None:
         self.device = device or a100_40gb()
         self.options = options or SouffleOptions()
         # The schedule oracle is pluggable (paper Sec. 8.5: "can be reduced
         # by using faster optimizer like Roller, which is orthogonal").
         self.scheduler_factory = scheduler_factory
+        self.cache: Optional[CompileCache] = resolve_compile_cache(cache)
+        self.max_workers = max_workers
+
+    # ---- pipeline front half -------------------------------------------------
+
+    def _front_half(
+        self, model: Union[Graph, TEProgram], stats: CompileStats
+    ) -> TEProgram:
+        """Lowering + semantic-preserving TE transformations (Sec. 6).
+
+        Each transformation is differentially validated against its own
+        input, so the validation chain covers the whole pipeline without
+        re-checking any pair twice: original == horizontal(original) and
+        horizontal(original) == vertical(horizontal(original)) together pin
+        original == final by transitivity.
+        """
+        options = self.options
+
+        with PhaseTimer(stats, "lowering"):
+            program = lower_graph(model) if isinstance(model, Graph) else model
+
+        if options.horizontal:
+            before = program
+            with PhaseTimer(stats, "horizontal_transform"):
+                program, _ = horizontal_transform(program)
+            if options.validate:
+                assert_equivalent(before, program)
+        if options.vertical:
+            before = program
+            with PhaseTimer(stats, "vertical_transform"):
+                program, _ = vertical_transform(program)
+            if options.validate:
+                assert_equivalent(before, program)
+        return program
+
+    # ---- cache plumbing ------------------------------------------------------
+
+    def _module_key(self, model: Union[Graph, TEProgram]) -> Optional[str]:
+        scheduler_name = getattr(
+            self.scheduler_factory, "__name__", repr(self.scheduler_factory)
+        )
+        try:
+            return module_cache_key(
+                model, self.device, self.options, scheduler_name
+            )
+        except Exception:
+            # An unhashable model only loses caching, never the compile.
+            return None
+
+    def _load_cached_module(
+        self, key: str, model: Union[Graph, TEProgram], stats: CompileStats
+    ) -> Optional[CompiledModule]:
+        assert self.cache is not None and self.cache.modules is not None
+
+        def materialise_program() -> TEProgram:
+            return self._front_half(model, CompileStats())
+
+        with PhaseTimer(stats, "cache_load"):
+            module = self.cache.modules.load(
+                key, self.device, stats, program_loader=materialise_program
+            )
+        if module is not None:
+            stats.module_cache_hit = True
+        return module
+
+    # ---- compilation ---------------------------------------------------------
 
     def compile(self, model: Union[Graph, TEProgram]) -> CompiledModule:
         """Compile a model graph (or pre-lowered TE program) to kernels."""
         stats = CompileStats()
         options = self.options
+        cache = self.cache
 
-        with PhaseTimer(stats, "lowering"):
-            program = lower_graph(model) if isinstance(model, Graph) else model
-        original = program
+        mkey: Optional[str] = None
+        if cache is not None and cache.modules is not None:
+            mkey = self._module_key(model)
+            if mkey is not None:
+                module = self._load_cached_module(mkey, model, stats)
+                if module is not None:
+                    return module
 
-        # ---- semantic-preserving TE transformations (Sec. 6) ----------------
-        if options.horizontal:
-            with PhaseTimer(stats, "horizontal_transform"):
-                program, _ = horizontal_transform(program)
-            if options.validate:
-                assert_equivalent(original, program)
-        if options.vertical:
-            with PhaseTimer(stats, "vertical_transform"):
-                program, _ = vertical_transform(program)
-            if options.validate:
-                assert_equivalent(original, program)
+        # ---- lowering + semantic-preserving TE transformations (Sec. 6) -----
+        program = self._front_half(model, stats)
 
         # ---- global analysis (Sec. 5) ----------------------------------------
         with PhaseTimer(stats, "analysis"):
             chars = characterize_program(program)
 
         scheduler = self.scheduler_factory(self.device)
+        schedule_snapshot: Dict[str, int] = {}
+        if cache is not None and cache.schedules is not None and hasattr(
+            scheduler, "attach_cache"
+        ):
+            scheduler.attach_cache(
+                cache.schedules, options_token=options.level_name
+            )
+            schedule_snapshot = cache.schedules.stats.snapshot()
 
         # ---- partitioning / grouping -------------------------------------------
         with PhaseTimer(stats, "partitioning"):
@@ -93,21 +184,33 @@ class SouffleCompiler:
                 schedules = {}
 
         # ---- kernel construction (Sec. 6.4) ------------------------------------
-        kernels: List[BuiltKernel] = []
+        # Subprograms are independent: schedule lookups are lock-protected
+        # and memoised, and each TE belongs to exactly one group, so the
+        # worker pool builds them concurrently with identical results.
+        def build_group(item: Tuple[int, List]) -> BuiltKernel:
+            index, group = item
+            kernel_name = f"{program.name}_sp{index}"
+            start = time.perf_counter()
+            built = build_kernel(
+                name=kernel_name,
+                nodes=group,
+                program=program,
+                chars=chars,
+                schedules=schedules,
+                scheduler=scheduler,
+                device=self.device,
+                allow_sync=options.global_sync,
+            )
+            stats.record_subprogram(kernel_name, time.perf_counter() - start)
+            return built
+
+        pool = WorkerPool(self.max_workers)
         with PhaseTimer(stats, "codegen"):
-            for index, group in enumerate(groups):
-                kernels.append(
-                    build_kernel(
-                        name=f"{program.name}_sp{index}",
-                        nodes=group,
-                        program=program,
-                        chars=chars,
-                        schedules=schedules,
-                        scheduler=scheduler,
-                        device=self.device,
-                        allow_sync=options.global_sync,
-                    )
-                )
+            kernels: List[BuiltKernel] = pool.map(
+                build_group, list(enumerate(groups))
+            )
+        stats.parallel_workers = pool.used_workers
+        stats.parallel_fallback = pool.fell_back
 
         # ---- subprogram-level optimisation (Sec. 6.5) -----------------------------
         if options.subprogram_opt:
@@ -121,7 +224,16 @@ class SouffleCompiler:
                     apply_pipeline(built, group, chars)
 
         stats.schedule_trials = scheduler.search_trials
-        return CompiledModule(
+        if schedule_snapshot:
+            current = cache.schedules.stats.snapshot()
+            stats.schedule_cache_hits = (
+                current["hits"] - schedule_snapshot["hits"]
+            )
+            stats.schedule_cache_misses = (
+                current["misses"] - schedule_snapshot["misses"]
+            )
+
+        module = CompiledModule(
             name=program.name,
             compiler=f"{self.name}-{options.level_name}",
             program=program,
@@ -130,15 +242,25 @@ class SouffleCompiler:
             stats=stats,
         )
 
+        if cache is not None and cache.modules is not None and mkey is not None:
+            with PhaseTimer(stats, "cache_store"):
+                cache.modules.store(mkey, module)
+        return module
+
 
 def compile_model(
     model: Union[Graph, TEProgram],
     device: Optional[GPUSpec] = None,
     level: int = 4,
     validate: bool = False,
+    cache=None,
+    max_workers: Optional[int] = 1,
 ) -> CompiledModule:
     """One-call convenience API: compile at optimisation level V0..V4."""
     compiler = SouffleCompiler(
-        device=device, options=SouffleOptions.from_level(level, validate)
+        device=device,
+        options=SouffleOptions.from_level(level, validate),
+        cache=cache,
+        max_workers=max_workers,
     )
     return compiler.compile(model)

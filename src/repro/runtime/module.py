@@ -4,13 +4,18 @@ A :class:`CompiledModule` bundles the final TE program (functional
 semantics), the built kernels (performance semantics) and the device model.
 ``run`` executes functionally with numpy; ``simulate`` produces the
 performance counters the paper reports.
+
+Modules restored from the persistent compile cache carry a *program loader*
+instead of an eager program: performance queries never re-run the pipeline,
+while the first functional ``run()`` transparently materialises the TE
+program by replaying the deterministic front half of the compile.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -25,25 +30,73 @@ from repro.tir.build import BuiltKernel
 
 @dataclass
 class CompileStats:
-    """Wall-clock breakdown of one compilation (paper Sec. 8.5)."""
+    """Wall-clock breakdown of one compilation (paper Sec. 8.5).
+
+    Beyond the per-phase split the paper reports, this records the compile
+    observability the cache/parallel subsystem exposes: per-subprogram build
+    times, schedule-cache hit rates, worker-pool usage and whether the whole
+    module came from the artifact cache.
+    """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     schedule_trials: int = 0
+    subprogram_seconds: Dict[str, float] = field(default_factory=dict)
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
+    parallel_workers: int = 1
+    parallel_fallback: bool = False
+    module_cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
         return sum(self.phase_seconds.values())
 
+    @property
+    def schedule_cache_lookups(self) -> int:
+        return self.schedule_cache_hits + self.schedule_cache_misses
+
+    @property
+    def schedule_cache_hit_rate(self) -> float:
+        lookups = self.schedule_cache_lookups
+        return self.schedule_cache_hits / lookups if lookups else 0.0
+
     def record(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
+    def record_subprogram(self, name: str, seconds: float) -> None:
+        """Per-subprogram wall time; overwrite (a retry replaces the first
+        attempt's measurement rather than accumulating it)."""
+        self.subprogram_seconds[name] = seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able view, consumed by the ``compile-stats`` CLI command."""
+        return {
+            "total_seconds": self.total_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "subprogram_seconds": dict(self.subprogram_seconds),
+            "schedule_trials": self.schedule_trials,
+            "schedule_cache_hits": self.schedule_cache_hits,
+            "schedule_cache_misses": self.schedule_cache_misses,
+            "schedule_cache_hit_rate": self.schedule_cache_hit_rate,
+            "parallel_workers": self.parallel_workers,
+            "parallel_fallback": self.parallel_fallback,
+            "module_cache_hit": self.module_cache_hit,
+        }
+
 
 class PhaseTimer:
-    """Context manager recording a phase duration into :class:`CompileStats`."""
+    """Context manager recording a phase duration into :class:`CompileStats`.
 
-    def __init__(self, stats: CompileStats, phase: str) -> None:
+    With ``subprogram`` set, the duration is additionally recorded as that
+    subprogram's build time.
+    """
+
+    def __init__(
+        self, stats: CompileStats, phase: str, subprogram: Optional[str] = None
+    ) -> None:
         self._stats = stats
         self._phase = phase
+        self._subprogram = subprogram
         self._start = 0.0
 
     def __enter__(self) -> "PhaseTimer":
@@ -51,19 +104,53 @@ class PhaseTimer:
         return self
 
     def __exit__(self, *exc) -> None:
-        self._stats.record(self._phase, time.perf_counter() - self._start)
+        elapsed = time.perf_counter() - self._start
+        self._stats.record(self._phase, elapsed)
+        if self._subprogram is not None:
+            self._stats.record_subprogram(self._subprogram, elapsed)
 
 
-@dataclass
 class CompiledModule:
     """The executable+measurable result of compiling one model."""
 
-    name: str
-    compiler: str
-    program: TEProgram
-    kernels: List[BuiltKernel]
-    device: GPUSpec
-    stats: CompileStats = field(default_factory=CompileStats)
+    def __init__(
+        self,
+        name: str,
+        compiler: str,
+        program: Optional[TEProgram],
+        kernels: Sequence[BuiltKernel],
+        device: GPUSpec,
+        stats: Optional[CompileStats] = None,
+        program_loader: Optional[Callable[[], TEProgram]] = None,
+    ) -> None:
+        self.name = name
+        self.compiler = compiler
+        self.kernels: List[BuiltKernel] = list(kernels)
+        self.device = device
+        self.stats = stats if stats is not None else CompileStats()
+        self._program = program
+        self._program_loader = program_loader
+
+    # ---- program materialisation ---------------------------------------------
+
+    @property
+    def program(self) -> TEProgram:
+        if self._program is None:
+            if self._program_loader is None:
+                raise ExecutionError(
+                    f"module {self.name} has no TE program and no loader"
+                )
+            self._program = self._program_loader()
+        return self._program
+
+    @program.setter
+    def program(self, value: TEProgram) -> None:
+        self._program = value
+
+    @property
+    def has_program(self) -> bool:
+        """Whether the TE program is already materialised."""
+        return self._program is not None
 
     # ---- performance ---------------------------------------------------------
 

@@ -14,7 +14,11 @@ compilation linear for models like LSTM with thousands of identical cells.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.cache.schedule_cache import ScheduleCache
 
 from repro.analysis.characterize import _structure_key, te_flops
 from repro.errors import ScheduleError
@@ -117,21 +121,57 @@ class AnsorScheduler:
         self.simulator = GPUSimulator(device)
         self._cache: Dict[tuple, TESchedule] = {}
         self.search_trials = 0  # counts simulated candidates (Sec. 8.5)
+        # Optional persistent tier (repro.cache): set via attach_cache().
+        self._persistent: Optional["ScheduleCache"] = None
+        self._cache_context: Optional[str] = None
+        # schedule() must be callable from the parallel kernel builders; the
+        # lock also makes search_trials deterministic (each structure is
+        # built exactly once regardless of thread interleaving).
+        self._lock = threading.Lock()
 
     # ---- public API ---------------------------------------------------------
 
-    def schedule(self, node: TENode) -> TESchedule:
-        """Return an optimised schedule for one TE (memoised by structure)."""
-        key = _structure_key(node)
-        cached = self._cache.get(key)
-        if cached is not None:
-            # Re-target the cached schedule at this node.
-            from dataclasses import replace
+    def attach_cache(
+        self, cache: "ScheduleCache", options_token: str = ""
+    ) -> None:
+        """Plug a persistent schedule cache behind the in-memory memo.
 
-            return replace(cached, node=node)
-        schedule = self._build(node)
-        self._cache[key] = schedule
-        return schedule
+        The cache context keys entries by scheduler class, device model and
+        compiler options, so different oracles/targets never share entries.
+        """
+        from repro.cache.keys import schedule_context
+
+        self._persistent = cache
+        self._cache_context = schedule_context(
+            type(self).__name__, self.device, options_token
+        )
+
+    def schedule(self, node: TENode) -> TESchedule:
+        """Return an optimised schedule for one TE (memoised by structure,
+        backed by the persistent cache when one is attached)."""
+        from dataclasses import replace
+
+        with self._lock:
+            key = _structure_key(node)
+            cached = self._cache.get(key)
+            if cached is not None:
+                # Re-target the cached schedule at this node.
+                return replace(cached, node=node)
+            if self._persistent is not None:
+                from repro.cache.keys import schedule_cache_key
+
+                pkey = schedule_cache_key(self._cache_context, node)
+                loaded = self._persistent.load(pkey, node)
+                if loaded is not None:
+                    self._cache[key] = loaded
+                    return loaded
+                schedule = self._build(node)
+                self._cache[key] = schedule
+                self._persistent.store(pkey, schedule)
+                return schedule
+            schedule = self._build(node)
+            self._cache[key] = schedule
+            return schedule
 
     # ---- internals ----------------------------------------------------------
 

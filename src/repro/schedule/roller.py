@@ -94,7 +94,12 @@ class RollerScheduler(AnsorScheduler):
     """Construction-based scheduling: aligned rTiles, zero search.
 
     Inherits the reduction/elementwise templates (already deterministic)
-    and replaces only the contraction search.
+    and replaces only the contraction search. The inherited persistent-cache
+    support (``attach_cache``) keys entries by scheduler class, so Roller
+    and Ansor never serve each other's schedules from the same cache
+    directory; a persistent hit skips the construction entirely (the
+    ``constructions`` counter then stays flat, mirroring how cached Ansor
+    lookups leave ``search_trials`` flat).
     """
 
     def __init__(self, device: GPUSpec) -> None:

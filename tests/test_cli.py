@@ -42,3 +42,26 @@ class TestCommands:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["compile", "alexnet"])
+
+    def test_compile_with_cache_and_jobs(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["compile", "mmoe", "--cache-dir", cache,
+                     "--jobs", "2"]) == 0
+        assert "profile:" in capsys.readouterr().out
+
+    def test_compile_stats_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["compile-stats", "mmoe", "--cache-dir", cache,
+                     "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run 1/2" in out and "run 2/2" in out
+        assert "module cache: miss" in out
+        assert "module cache: hit" in out
+        assert "schedule cache:" in out
+        assert "parallel workers:" in out
+
+    def test_compile_stats_without_cache(self, capsys):
+        assert main(["compile-stats", "mmoe"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule cache: disabled" in out
+        assert "compile phases:" in out

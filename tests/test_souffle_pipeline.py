@@ -65,6 +65,29 @@ class TestPipeline:
         module = SouffleCompiler().compile(program)
         assert module.kernel_calls >= 1
 
+    def test_validation_chain_covers_each_pass(self, monkeypatch):
+        """Each transformation is differentially validated against its *own*
+        input: original == horizontal and horizontal == vertical, which pins
+        original == final by transitivity. Regression test — the vertical
+        pass was previously validated against the pre-horizontal program,
+        leaving the horizontal output itself unchecked as a vertical input."""
+        import repro.core.souffle as souffle_module
+
+        calls = []
+        monkeypatch.setattr(
+            souffle_module,
+            "assert_equivalent",
+            lambda before, after: calls.append((before, after)),
+        )
+        compiler = SouffleCompiler(
+            options=SouffleOptions.from_level(4, validate=True)
+        )
+        module = compiler.compile(attention_graph())
+        assert len(calls) == 2  # one check per enabled pass, none duplicated
+        (_h_before, h_after), (v_before, v_after) = calls
+        assert v_before is h_after  # vertical checked against horizontal out
+        assert module.program is v_after  # final program is what was checked
+
     def test_compile_stats_recorded(self):
         module = compile_model(attention_graph(), level=4)
         phases = module.stats.phase_seconds
