@@ -1,21 +1,26 @@
-"""Deployment-oriented features: dynamic shapes and memory planning.
+"""Deployment-oriented features: dynamic shapes, serving and memory planning.
 
-Demonstrates the two Sec. 9 discussion items this reproduction implements:
+Demonstrates the two Sec. 9 discussion items this reproduction implements,
+plus the plan-based serving path built on top of them:
 
 * multi-version kernels with runtime shape dispatch ("generate multiple
   versions of a kernel and choose the appropriate one based on shape
   information available at execution time");
 * workspace planning from the global liveness analysis (intermediates with
-  disjoint live ranges share buffers).
+  disjoint live ranges share buffers);
+* an `InferenceSession` that lowers the TE program once into a flat
+  execution plan and replays it per request against a preallocated arena.
 
 Run:  python examples/deployment.py
 """
 
+import time
+
 import numpy as np
 
 from repro.graph import GraphBuilder, lower_graph
-from repro.models import build_bert
-from repro.runtime import ShapeDispatcher, plan_memory
+from repro.models import build_bert, build_bert_tiny
+from repro.runtime import InferenceSession, ShapeDispatcher, plan_memory
 
 
 def sequence_classifier(seq_len: int):
@@ -52,6 +57,33 @@ def main() -> None:
             f"rows sum to {probabilities.sum(axis=-1).mean():.3f}"
         )
     print(f"  compiled buckets: {dispatcher.compiled_buckets}")
+    bucket_session = dispatcher.module_for(64).session
+    print(
+        f"  bucket-64 session: {bucket_session.request_count} requests "
+        f"through one plan, {bucket_session.workspace_bytes} arena bytes "
+        f"x{bucket_session.arenas_allocated}"
+    )
+
+    # ---- serving with an explicit session ------------------------------------
+    print("\nplan-based serving (tiny BERT, 200 requests):")
+    program = lower_graph(build_bert_tiny())
+    session = InferenceSession(program, profile=True)
+    feeds = {
+        t.name: rng.standard_normal(t.shape) * 0.1 for t in program.inputs
+    }
+    start = time.perf_counter()
+    for _ in range(200):
+        session.run_by_name(feeds)
+    wall = time.perf_counter() - start
+    print(
+        f"  {session.request_count} requests in {wall:.3f}s "
+        f"({session.requests_per_second:.0f} req/s), workspace "
+        f"{session.workspace_bytes / 1e3:.1f} kB allocated "
+        f"{session.arenas_allocated}x"
+    )
+    print("\n  slowest plan steps:")
+    for line in session.profile_report().render(top=5).splitlines()[1:]:
+        print("  " + line)
 
     # ---- memory planning -----------------------------------------------------
     print("\nworkspace planning for BERT-base (2 layers shown):")

@@ -23,15 +23,19 @@ from repro.gpu.device import GPUSpec, a100_40gb, v100_16gb
 from repro.graph.builder import GraphBuilder
 from repro.graph.lowering import lower_graph
 from repro.models import get_model
+from repro.runtime.executor import ExecutionPlan
 from repro.runtime.module import CompiledModule
 from repro.runtime.profiler import ProfileReport, profile_module
+from repro.runtime.session import InferenceSession
 
 __version__ = "0.1.0"
 
 __all__ = [
     "CompileCache",
     "CompiledModule",
+    "ExecutionPlan",
     "GPUSpec",
+    "InferenceSession",
     "GraphBuilder",
     "ModuleCache",
     "ProfileReport",

@@ -27,7 +27,7 @@ from repro.core.souffle import SouffleCompiler
 from repro.frontends.serialize import load_graph, save_graph
 from repro.graph.graph import Graph
 from repro.graph.lowering import lower_graph
-from repro.models import PAPER_MODELS, get_model
+from repro.models import PAPER_MODELS, TINY_MODELS, get_model
 from repro.runtime.module import CompileStats
 from repro.runtime.profiler import profile_module
 
@@ -155,6 +155,59 @@ def cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Measure plan-based serving throughput vs the interpretive evaluator."""
+    import numpy as np
+
+    from repro.runtime.session import InferenceSession
+    from repro.transform.semantics import random_feeds
+
+    if args.scale == "tiny":
+        if args.model not in TINY_MODELS:
+            raise SystemExit(
+                f"unknown tiny model {args.model!r}; choose one of "
+                f"{sorted(TINY_MODELS)} (or use --scale paper)"
+            )
+        graph = get_model(args.model, scale="tiny")
+    else:
+        graph = _resolve_model(args.model)
+
+    module = _compiler_from_args(args).compile(graph)
+    program = module.program
+    feeds = random_feeds(program, seed=args.seed)
+    session = InferenceSession(program, name=graph.name, profile=True)
+
+    # Warm both paths once (plan construction, numpy caches).
+    plan_out = session.run(feeds)
+    interp_out = module.run_interpreted(feeds)
+    exact = all(np.array_equal(a, b) for a, b in zip(plan_out, interp_out))
+
+    start = time.perf_counter()
+    for _ in range(args.calls):
+        module.run_interpreted(feeds)
+    interp_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(args.calls):
+        session.run(feeds)
+    plan_seconds = time.perf_counter() - start
+
+    interp_rps = args.calls / interp_seconds
+    plan_rps = args.calls / plan_seconds
+    print(
+        f"serve-bench: {graph.name} [{args.scale}] — {args.calls} calls, "
+        f"outputs bit-identical: {exact}"
+    )
+    print(f"{'engine':14s} {'req/s':>10s} {'ms/req':>10s}")
+    print(f"{'interpreter':14s} {interp_rps:10.1f} "
+          f"{interp_seconds / args.calls * 1e3:10.3f}")
+    print(f"{'plan replay':14s} {plan_rps:10.1f} "
+          f"{plan_seconds / args.calls * 1e3:10.3f}")
+    print(f"speedup: {interp_seconds / plan_seconds:.2f}x\n")
+    print(session.profile_report().render(top=args.top))
+    return 0 if exact else 1
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     graph = _resolve_model(args.model)
     save_graph(graph, args.path)
@@ -217,6 +270,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("--top", type=int, default=12)
     p.set_defaults(fn=cmd_memory)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="serving throughput: plan-based replay vs interpretive run",
+    )
+    add_common(p)
+    p.add_argument("--scale", choices=("tiny", "paper"), default="tiny",
+                   help="model scale to execute functionally (default tiny; "
+                        "paper-scale grids may exceed the evaluator limit)")
+    p.add_argument("--calls", type=int, default=32,
+                   help="timed requests per engine (default 32)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random-feed seed (default 0)")
+    p.add_argument("--top", type=int, default=12,
+                   help="slowest plan steps to print")
+    p.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser("export", help="export a model to the JSON format")
     add_common(p)

@@ -43,5 +43,9 @@ class ExecutionError(ReproError):
     """Functional execution of a compiled module failed."""
 
 
+class PlanningError(ReproError):
+    """Execution-plan construction failed (overlapping arena layout, ...)."""
+
+
 class UnsupportedOperatorError(LoweringError):
     """Operator has no TE lowering (paper Sec. 6.7: e.g. TopK, Conditional)."""

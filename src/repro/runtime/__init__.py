@@ -1,19 +1,33 @@
-"""Runtime: compiled modules, functional execution and profiling."""
+"""Runtime: compiled modules, plan-based execution, serving and profiling."""
 
 from repro.runtime.dispatch import DispatchRecord, ShapeDispatcher
+from repro.runtime.executor import Arena, ExecutionPlan, PlanStep
 from repro.runtime.memory_planner import MemoryPlan, plan_memory
 from repro.runtime.module import CompiledModule, CompileStats, PhaseTimer
-from repro.runtime.profiler import KernelProfile, ProfileReport, profile_module
+from repro.runtime.profiler import (
+    ExecutionProfile,
+    KernelProfile,
+    ProfileReport,
+    StepTiming,
+    profile_module,
+)
+from repro.runtime.session import InferenceSession
 
 __all__ = [
+    "Arena",
     "CompileStats",
-    "DispatchRecord",
-    "MemoryPlan",
-    "ShapeDispatcher",
-    "plan_memory",
     "CompiledModule",
+    "DispatchRecord",
+    "ExecutionPlan",
+    "ExecutionProfile",
+    "InferenceSession",
     "KernelProfile",
+    "MemoryPlan",
     "PhaseTimer",
+    "PlanStep",
     "ProfileReport",
+    "ShapeDispatcher",
+    "StepTiming",
+    "plan_memory",
     "profile_module",
 ]

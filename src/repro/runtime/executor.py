@@ -1,0 +1,477 @@
+"""Plan-based numpy execution: compile a TE program once, replay per request.
+
+The interpretive :class:`~repro.te.evaluator.Evaluator` re-walks every
+expression tree on every call — rebuilding iteration-variable grids,
+re-evaluating index arithmetic, re-matching matmul patterns and allocating
+every intermediate from scratch. None of that depends on the request: tensor
+shapes, index maps, broadcast grids and operator dispatch are all fixed at
+compile time. :class:`ExecutionPlan` therefore lowers the program *once*
+into a topologically-ordered list of specialized step closures:
+
+* matmul-shaped contractions become a pinned ``np.einsum`` call with the
+  contraction string resolved at plan time;
+* elementwise/reduction TEs have their bodies compiled bottom-up — binop,
+  comparison and intrinsic dispatch resolved to concrete numpy callables,
+  tensor reads resolved to identity views or precomputed integer gather
+  maps, and every data-independent subexpression (index math, constant
+  grids) folded into a plan-time constant array;
+* each step writes its result directly into a preallocated **arena** view
+  laid out by the global :class:`~repro.runtime.memory_planner.MemoryPlan`
+  (``exclusive_writes`` packing, float64 sizing), so non-overlapping
+  intermediates share bytes and repeated calls allocate nothing but the
+  model outputs.
+
+Executing a request is then a flat loop over the steps. Results are
+bit-identical to the :class:`Evaluator` (which remains the differential-
+testing oracle): both paths run the same numpy kernels in the same order on
+the same float64 operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanningError
+from repro.graph.te_program import TEProgram
+from repro.runtime.memory_planner import MemoryPlan, plan_memory
+from repro.te.evaluator import _BINOP_FN, _CALL_FN, _CMP_FN, MAX_GRID_ELEMENTS
+from repro.te.expr import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    IfThenElse,
+    IterVar,
+    Reduce,
+    TensorRead,
+    Var,
+)
+from repro.te.patterns import match_matmul
+from repro.te.tensor import Tensor
+
+# The executor computes in float64 (like the Evaluator); arena buffers are
+# sized for that representation, not the tensor's declared storage dtype.
+EXEC_DTYPE = np.float64
+EXEC_ITEMSIZE = np.dtype(EXEC_DTYPE).itemsize
+
+# A values table maps id(tensor) -> ndarray (feed, arena view or output).
+Values = Dict[int, np.ndarray]
+# A compiled subexpression: either a plan-time constant array or a closure.
+_Compiled = Tuple[Optional[np.ndarray], Optional[Callable[[Values], np.ndarray]]]
+
+
+class PlanStep:
+    """One executable step: computes a tensor into ``values[key]``."""
+
+    __slots__ = ("index", "name", "kind", "key", "run")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        kind: str,
+        key: int,
+        run: Callable[[Values], None],
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.kind = kind
+        self.key = key
+        self.run = run
+
+    def __repr__(self) -> str:
+        return f"<PlanStep#{self.index} {self.name} [{self.kind}]>"
+
+
+class Arena:
+    """One preallocated workspace: a flat byte buffer plus per-tensor views.
+
+    Built once from the memory plan; every intermediate's view aliases its
+    planned ``[offset, offset+nbytes)`` slice, so tensors with disjoint live
+    ranges transparently share bytes across steps and across requests.
+    """
+
+    __slots__ = ("buffer", "views", "nbytes")
+
+    def __init__(self, plan: MemoryPlan) -> None:
+        self.nbytes = plan.workspace_bytes
+        self.buffer = np.empty(plan.workspace_bytes, dtype=np.uint8)
+        self.views: Values = {}
+        for tensor, assignment in plan.assignments.items():
+            end = assignment.offset + tensor.num_elements * EXEC_ITEMSIZE
+            self.views[id(tensor)] = (
+                self.buffer[assignment.offset:end]
+                .view(EXEC_DTYPE)
+                .reshape(tensor.shape)
+            )
+
+
+def _grid_env(axes: Sequence[IterVar]) -> Dict[str, np.ndarray]:
+    """Plan-time constant index grids: one broadcastable arange per axis."""
+    env: Dict[str, np.ndarray] = {}
+    ndim = len(axes)
+    for dim, ax in enumerate(axes):
+        index = np.arange(ax.dom.lo, ax.dom.hi, dtype=np.int64)
+        shape = [1] * ndim
+        shape[dim] = ax.extent
+        env[ax.name] = index.reshape(shape)
+    return env
+
+
+def _compile_expr(
+    expr: Expr, env: Mapping[str, np.ndarray], axes: Sequence[IterVar]
+) -> _Compiled:
+    """Compile one expression bottom-up.
+
+    Returns ``(const, None)`` when the subtree reads no tensor data — the
+    value is computed right here, at plan time — or ``(None, fn)`` where
+    ``fn(values)`` produces the (broadcastable) grid at request time.
+    """
+    if isinstance(expr, Const):
+        return np.asarray(expr.value, dtype=EXEC_DTYPE), None
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name], None
+        except KeyError:
+            raise ExecutionError(f"unbound variable {expr.name}") from None
+    if isinstance(expr, (BinOp, Cmp)):
+        table = _BINOP_FN if isinstance(expr, BinOp) else _CMP_FN
+        fn = table[expr.op]
+        lc, lf = _compile_expr(expr.lhs, env, axes)
+        rc, rf = _compile_expr(expr.rhs, env, axes)
+        if lf is None and rf is None:
+            return fn(lc, rc), None
+        if lf is None:
+            return None, lambda v, fn=fn, lc=lc, rf=rf: fn(lc, rf(v))
+        if rf is None:
+            return None, lambda v, fn=fn, lf=lf, rc=rc: fn(lf(v), rc)
+        return None, lambda v, fn=fn, lf=lf, rf=rf: fn(lf(v), rf(v))
+    if isinstance(expr, Call):
+        fn = _CALL_FN[expr.func]
+        parts = [_compile_expr(a, env, axes) for a in expr.args]
+        if all(f is None for _, f in parts):
+            return fn(*[c for c, _ in parts]), None
+        if len(parts) == 1:
+            (_, af), = parts
+            return None, lambda v, fn=fn, af=af: fn(af(v))
+        thunks = tuple(
+            (lambda v, c=c: c) if f is None else f for c, f in parts
+        )
+        return None, lambda v, fn=fn, thunks=thunks: fn(*[t(v) for t in thunks])
+    if isinstance(expr, IfThenElse):
+        parts = [
+            _compile_expr(e, env, axes)
+            for e in (expr.cond, expr.then_value, expr.else_value)
+        ]
+        if all(f is None for _, f in parts):
+            cond, then_v, else_v = (c for c, _ in parts)
+            return np.where(cond, then_v, else_v), None
+        thunks = tuple(
+            (lambda v, c=c: c) if f is None else f for c, f in parts
+        )
+        return None, lambda v, thunks=thunks: np.where(
+            thunks[0](v), thunks[1](v), thunks[2](v)
+        )
+    if isinstance(expr, TensorRead):
+        return _compile_read(expr, env, axes)
+    if isinstance(expr, Reduce):
+        # Nested reductions are normalised away during lowering; only a
+        # top-level Reduce exists and the step builder peels it off.
+        raise ExecutionError("nested Reduce is not supported by the executor")
+    raise ExecutionError(f"cannot compile node {type(expr).__name__}")
+
+
+def _compile_read(
+    read: TensorRead, env: Mapping[str, np.ndarray], axes: Sequence[IterVar]
+) -> _Compiled:
+    """Resolve a tensor read to a view or a precomputed gather map.
+
+    Index expressions depend only on iteration variables and constants, so
+    the integer index grids are fully materialised at plan time. The common
+    identity pattern ``T[i, j, ...]`` (every node axis, in order, sweeping
+    the full tensor) short-circuits to the bare array — no copy at all.
+    """
+    key = id(read.tensor)
+    base_shape = tuple(getattr(read.tensor, "shape", ()))
+
+    index_names = [i.name for i in read.indices if isinstance(i, Var)]
+    axis_names = [ax.name for ax in axes]
+    extents = tuple(ax.extent for ax in axes)
+    if (
+        len(index_names) == len(read.indices)
+        and index_names == axis_names
+        and base_shape == extents
+    ):
+        return None, lambda v, key=key: v[key]
+
+    parts = [_compile_expr(i, env, axes) for i in read.indices]
+    if any(f is not None for _, f in parts):
+        # Data-dependent indexing does not occur in this IR, but compile it
+        # anyway so the executor degrades gracefully rather than crashing.
+        thunks = tuple(
+            (lambda v, c=c: c) if f is None else f for c, f in parts
+        )
+
+        def gather_dynamic(v: Values, key=key, thunks=thunks) -> np.ndarray:
+            indices = [np.asarray(t(v), dtype=np.int64) for t in thunks]
+            if len(indices) > 1:
+                indices = list(np.broadcast_arrays(*indices))
+            return v[key][tuple(indices)]
+
+        return None, gather_dynamic
+
+    indices = [np.asarray(c, dtype=np.int64) for c, _ in parts]
+    if len(indices) > 1:
+        indices = list(np.broadcast_arrays(*indices))
+    idx = tuple(indices)
+    return None, lambda v, key=key, idx=idx: v[key][idx]
+
+
+class ExecutionPlan:
+    """A TE program lowered to a flat, replayable step list + arena layout."""
+
+    # Total plans built in this process (lets tests assert plan reuse).
+    plans_built = 0
+
+    def __init__(
+        self,
+        program: TEProgram,
+        memory_plan: Optional[MemoryPlan] = None,
+    ) -> None:
+        self.program = program
+        if memory_plan is None:
+            memory_plan = plan_memory(
+                program,
+                sizer=lambda t: t.num_elements * EXEC_ITEMSIZE,
+                exclusive_writes=True,
+            )
+        self.memory_plan = memory_plan
+        self._inputs_by_id: Dict[int, Tensor] = {
+            id(t): t for t in program.inputs
+        }
+        self._used_input_ids: set = set()
+        self.steps: List[PlanStep] = [
+            self._build_step(i, node) for i, node in enumerate(program.nodes)
+        ]
+        self._output_allocs: List[Tuple[int, Tuple[int, ...]]] = [
+            (id(t), t.shape) for t in program.outputs
+        ]
+        self._output_keys: List[int] = [id(t) for t in program.outputs]
+        self._validate_layout()
+        type(self).plans_built += 1
+
+    # ---- construction ----------------------------------------------------
+
+    def _build_step(self, index: int, node) -> PlanStep:
+        tensor: Tensor = node.tensor
+        key = id(tensor)
+        op = tensor.op
+        assert op is not None
+        self._note_reads(op.body)
+
+        pattern = match_matmul(tensor)
+        if pattern is not None:
+            lk, rk = id(pattern.lhs), id(pattern.rhs)
+            formula = pattern.einsum_formula
+
+            def run_einsum(v: Values, formula=formula, lk=lk, rk=rk, key=key):
+                np.einsum(formula, v[lk], v[rk], out=v[key])
+
+            return PlanStep(index, tensor.name, "einsum", key, run_einsum)
+
+        spatial = list(op.axes)
+        body = op.body
+        reduce_axes: List[IterVar] = []
+        reduce_kind: Optional[str] = None
+        if isinstance(body, Reduce):
+            reduce_axes = list(body.axes)
+            reduce_kind = body.kind
+            body = body.body
+
+        all_axes = spatial + reduce_axes
+        total = 1
+        for ax in all_axes:
+            total *= ax.extent
+        if total > MAX_GRID_ELEMENTS:
+            raise ExecutionError(
+                f"evaluation grid for {tensor.name} has {total} points "
+                f"(> {MAX_GRID_ELEMENTS}); use smaller shapes for functional "
+                "execution — benchmarks use the analytic model"
+            )
+
+        env = _grid_env(all_axes)
+        const, fn = _compile_expr(body, env, all_axes)
+
+        if reduce_kind is None:
+            if fn is None:
+                # Fully data-independent body: the result never changes.
+                folded = np.broadcast_to(const, tensor.shape)
+
+                def run_const(v: Values, key=key, folded=folded):
+                    np.copyto(v[key], folded)
+
+                return PlanStep(index, tensor.name, "const", key, run_const)
+
+            def run_map(v: Values, key=key, fn=fn):
+                np.copyto(v[key], fn(v))
+
+            return PlanStep(index, tensor.name, "map", key, run_map)
+
+        full_shape = tuple(ax.extent for ax in all_axes)
+        reduce_dims = tuple(range(len(spatial), len(all_axes)))
+        red_fn = {"sum": np.sum, "max": np.max, "min": np.min}[reduce_kind]
+
+        if fn is None:
+            folded = red_fn(
+                np.broadcast_to(const, full_shape), axis=reduce_dims
+            ).astype(EXEC_DTYPE)
+
+            def run_const_red(v: Values, key=key, folded=folded):
+                np.copyto(v[key], folded)
+
+            return PlanStep(index, tensor.name, "const", key, run_const_red)
+
+        def run_reduce(
+            v: Values,
+            key=key,
+            fn=fn,
+            full=full_shape,
+            dims=reduce_dims,
+            red=red_fn,
+        ):
+            grid = np.broadcast_to(fn(v), full)
+            red(grid, axis=dims, out=v[key])
+
+        return PlanStep(index, tensor.name, "reduce", key, run_reduce)
+
+    def _note_reads(self, expr: Expr) -> None:
+        """Record which placeholders the program actually reads."""
+        if isinstance(expr, TensorRead):
+            if id(expr.tensor) in self._inputs_by_id:
+                self._used_input_ids.add(id(expr.tensor))
+            for i in expr.indices:
+                self._note_reads(i)
+        elif isinstance(expr, (BinOp, Cmp)):
+            self._note_reads(expr.lhs)
+            self._note_reads(expr.rhs)
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                self._note_reads(a)
+        elif isinstance(expr, IfThenElse):
+            self._note_reads(expr.cond)
+            self._note_reads(expr.then_value)
+            self._note_reads(expr.else_value)
+        elif isinstance(expr, Reduce):
+            self._note_reads(expr.body)
+
+    def _validate_layout(self) -> None:
+        """Fail loudly at plan time on any unsafe arena layout.
+
+        Beyond the plan's own pairwise liveness check, every step's output
+        bytes must be disjoint from each of its operand buffers: steps write
+        results through ``out=`` while operand views are being read.
+        """
+        self.memory_plan.validate()
+        assignments = self.memory_plan.assignments
+        ranges = {
+            id(t): (a.offset, a.offset + t.num_elements * EXEC_ITEMSIZE)
+            for t, a in assignments.items()
+        }
+        for node in self.program.nodes:
+            out_range = ranges.get(id(node.tensor))
+            if out_range is None:
+                if not self.program.is_output(node.tensor):
+                    raise PlanningError(
+                        f"intermediate {node.name} has no arena assignment"
+                    )
+                continue
+            for operand in node.inputs:
+                in_range = ranges.get(id(operand))
+                if in_range is None:
+                    continue
+                if out_range[0] < in_range[1] and in_range[0] < out_range[1]:
+                    raise PlanningError(
+                        f"arena layout aliases step {node.name} "
+                        f"{out_range} with its operand {operand.name} "
+                        f"{in_range}; in-place execution would corrupt "
+                        "results"
+                    )
+
+    # ---- execution -------------------------------------------------------
+
+    @property
+    def workspace_bytes(self) -> int:
+        return self.memory_plan.workspace_bytes
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def new_arena(self) -> Arena:
+        """Allocate one workspace for this plan (reused across requests)."""
+        return Arena(self.memory_plan)
+
+    def bind_feeds(self, feeds: Mapping[Tensor, np.ndarray]) -> Values:
+        """Validate and convert feeds to the execution representation."""
+        bound: Values = {}
+        for tensor, value in feeds.items():
+            arr = np.asarray(value, dtype=EXEC_DTYPE)
+            if arr.shape != tensor.shape:
+                raise ExecutionError(
+                    f"feed for {tensor.name} has shape {arr.shape}, "
+                    f"expected {tensor.shape}"
+                )
+            bound[id(tensor)] = arr
+        for used in self._used_input_ids:
+            if used not in bound:
+                name = self._inputs_by_id[used].name
+                raise ExecutionError(
+                    f"no feed provided for placeholder {name}"
+                )
+        return bound
+
+    def execute(
+        self,
+        bound: Values,
+        arena: Arena,
+        step_seconds: Optional[List[float]] = None,
+    ) -> List[np.ndarray]:
+        """Replay the step list once.
+
+        ``bound`` comes from :meth:`bind_feeds`; ``arena`` from
+        :meth:`new_arena`. With ``step_seconds`` (a list of one float per
+        step) each step's wall time is accumulated into it.
+        """
+        values = dict(arena.views)
+        values.update(bound)
+        for key, shape in self._output_allocs:
+            values[key] = np.empty(shape, dtype=EXEC_DTYPE)
+
+        if step_seconds is None:
+            for step in self.steps:
+                step.run(values)
+        else:
+            from time import perf_counter
+
+            for i, step in enumerate(self.steps):
+                start = perf_counter()
+                step.run(values)
+                step_seconds[i] += perf_counter() - start
+        return [values[key] for key in self._output_keys]
+
+    def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
+        """One-shot convenience: bind, allocate a throwaway arena, execute.
+
+        Serving paths should use :class:`~repro.runtime.session.
+        InferenceSession`, which reuses arenas across requests.
+        """
+        return self.execute(self.bind_feeds(feeds), self.new_arena())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecutionPlan {self.program.name}: {len(self.steps)} steps, "
+            f"{self.workspace_bytes} arena bytes>"
+        )

@@ -6,14 +6,22 @@ let the runtime share *global* buffers between non-overlapping
 intermediates — the workspace a deployment actually allocates. This module
 implements the classic greedy interval-packing planner over the liveness
 analysis and reports the memory-footprint numbers deployment cares about.
+
+Two planning flavours exist. The default models the paper's GPU workspace:
+a consumer kernel may write its output over an operand that dies at the
+same program point (in-place reuse). ``exclusive_writes=True`` forbids
+exactly that — an executor that writes a step's result *while* its operand
+views are still being read (the numpy :class:`~repro.runtime.executor.
+ExecutionPlan` arena) needs operand and result bytes disjoint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.liveness import LiveRange, live_ranges
+from repro.errors import PlanningError
 from repro.graph.te_program import TEProgram
 from repro.te.tensor import Tensor
 
@@ -23,6 +31,18 @@ ALIGNMENT = 256
 
 def _align(nbytes: int) -> int:
     return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _conflicts(a: LiveRange, b: LiveRange, exclusive_writes: bool) -> bool:
+    """Whether two tensors may not share bytes.
+
+    With ``exclusive_writes`` a tensor consumed at step ``k`` still conflicts
+    with a tensor defined at step ``k``: the write happens while the operand
+    is read, so handing the dying operand's bytes to the result is unsafe.
+    """
+    if exclusive_writes:
+        return not (a.last_use < b.def_index or b.last_use < a.def_index)
+    return a.overlaps(b)
 
 
 @dataclass(frozen=True)
@@ -46,6 +66,7 @@ class MemoryPlan:
     assignments: Dict[Tensor, BufferAssignment] = field(default_factory=dict)
     workspace_bytes: int = 0
     unshared_bytes: int = 0     # what naive one-buffer-per-tensor would cost
+    exclusive_writes: bool = False
 
     @property
     def sharing_ratio(self) -> float:
@@ -58,16 +79,24 @@ class MemoryPlan:
         return self.assignments[tensor].offset
 
     def validate(self) -> None:
-        """No two live-overlapping tensors may share bytes."""
+        """No two conflicting tensors may share bytes.
+
+        Raises :class:`~repro.errors.PlanningError` so a broken layout fails
+        loudly wherever the plan is consumed (the execution engine calls this
+        at plan-construction time), rather than silently corrupting results.
+        """
         items = list(self.assignments.values())
         for i, a in enumerate(items):
             for b in items[i + 1:]:
-                if a.live.overlaps(b.live):
+                if _conflicts(a.live, b.live, self.exclusive_writes):
                     disjoint = a.end <= b.offset or b.end <= a.offset
-                    assert disjoint, (
-                        f"{a.tensor.name} and {b.tensor.name} overlap in both "
-                        "time and space"
-                    )
+                    if not disjoint:
+                        raise PlanningError(
+                            f"memory plan invalid: {a.tensor.name} "
+                            f"[{a.offset}, {a.end}) and {b.tensor.name} "
+                            f"[{b.offset}, {b.end}) overlap in both time "
+                            "and space"
+                        )
 
     def render(self, top: int = 12) -> str:
         lines = [
@@ -85,16 +114,26 @@ class MemoryPlan:
         return "\n".join(lines)
 
 
-def plan_memory(program: TEProgram) -> MemoryPlan:
+def plan_memory(
+    program: TEProgram,
+    sizer: Optional[Callable[[Tensor], int]] = None,
+    exclusive_writes: bool = False,
+) -> MemoryPlan:
     """Pack intermediate tensors into a shared workspace.
 
     Greedy best-fit by decreasing size: each tensor takes the lowest offset
     at which it does not spatially collide with any already-placed tensor
-    whose live range overlaps its own. Inputs and model outputs are excluded
-    (they live in caller-owned buffers).
+    whose live range conflicts with its own. Inputs and model outputs are
+    excluded (they live in caller-owned buffers).
+
+    ``sizer`` overrides the per-tensor byte size (default: the tensor's
+    declared ``size_bytes``); the execution engine sizes buffers for its
+    float64 compute representation. ``exclusive_writes`` additionally keeps
+    each step's operands disjoint from its result (see module docstring).
     """
     ranges = live_ranges(program)
-    plan = MemoryPlan()
+    plan = MemoryPlan(exclusive_writes=exclusive_writes)
+    size_of = sizer if sizer is not None else (lambda t: t.size_bytes)
 
     intermediates: List[Tuple[Tensor, LiveRange]] = []
     for node in program:
@@ -103,14 +142,14 @@ def plan_memory(program: TEProgram) -> MemoryPlan:
             continue
         intermediates.append((tensor, ranges[tensor]))
 
-    plan.unshared_bytes = sum(_align(t.size_bytes) for t, _ in intermediates)
-    intermediates.sort(key=lambda pair: -pair[0].size_bytes)
+    plan.unshared_bytes = sum(_align(size_of(t)) for t, _ in intermediates)
+    intermediates.sort(key=lambda pair: -size_of(pair[0]))
 
     placed: List[BufferAssignment] = []
     for tensor, live in intermediates:
-        nbytes = _align(tensor.size_bytes)
+        nbytes = _align(size_of(tensor))
         conflicts = sorted(
-            (a for a in placed if a.live.overlaps(live)),
+            (a for a in placed if _conflicts(a.live, live, exclusive_writes)),
             key=lambda a: a.offset,
         )
         offset = 0

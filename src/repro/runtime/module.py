@@ -130,6 +130,7 @@ class CompiledModule:
         self.stats = stats if stats is not None else CompileStats()
         self._program = program
         self._program_loader = program_loader
+        self._session: Optional["InferenceSession"] = None
 
     # ---- program materialisation ---------------------------------------------
 
@@ -146,6 +147,7 @@ class CompiledModule:
     @program.setter
     def program(self, value: TEProgram) -> None:
         self._program = value
+        self._session = None  # plans are specialized to one program
 
     @property
     def has_program(self) -> bool:
@@ -165,8 +167,34 @@ class CompiledModule:
 
     # ---- functional execution ---------------------------------------------------
 
+    @property
+    def session(self) -> "InferenceSession":
+        """The module's serving session (plan built lazily, then reused).
+
+        Every :meth:`run` call replays this session's execution plan against
+        its pooled arena — the per-request cost is a flat step loop, not an
+        expression-tree walk.
+        """
+        if self._session is None:
+            # Imported here: the session module is runtime-internal and this
+            # keeps module import light for performance-only consumers.
+            from repro.runtime.session import InferenceSession
+
+            self._session = InferenceSession(self.program, name=self.name)
+        return self._session
+
     def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
-        """Execute the module functionally; returns outputs in program order."""
+        """Execute the module functionally; returns outputs in program order.
+
+        Uses the plan-based execution engine. :meth:`run_interpreted` is the
+        slow interpretive path kept as the differential-testing oracle.
+        """
+        return self.session.run(feeds)
+
+    def run_interpreted(
+        self, feeds: Mapping[Tensor, np.ndarray]
+    ) -> List[np.ndarray]:
+        """Reference execution via a fresh tree-walking :class:`Evaluator`."""
         evaluator = Evaluator(feeds)
         return [evaluator.value_of(out) for out in self.program.outputs]
 
@@ -177,7 +205,10 @@ class CompiledModule:
         for name, value in feeds.items():
             tensor = by_name.get(name)
             if tensor is None:
-                raise ExecutionError(f"no input named {name!r}")
+                raise ExecutionError(
+                    f"no input named {name!r}; available inputs: "
+                    f"{sorted(by_name)}"
+                )
             resolved[tensor] = value
         return self.run(resolved)
 

@@ -115,3 +115,77 @@ def profile_module(module: CompiledModule) -> ProfileReport:
     report = ProfileReport(module_name=module.name, compiler=module.compiler)
     report.kernels = [KernelProfile.from_metrics(m) for m in metrics.kernels]
     return report
+
+
+# ---- execution-engine (wall-clock) profiles ---------------------------------
+#
+# The counters above come from the analytic GPU model; the plan-based numpy
+# execution engine reports *measured* wall time instead. Both surface through
+# this module so serving and simulation share one profiling namespace.
+
+
+@dataclass
+class StepTiming:
+    """Accumulated wall time of one execution-plan step."""
+
+    index: int
+    name: str
+    kind: str           # einsum | map | reduce | const
+    calls: int
+    total_seconds: float
+
+    @property
+    def mean_us(self) -> float:
+        if self.calls == 0:
+            return 0.0
+        return self.total_seconds / self.calls * 1e6
+
+
+@dataclass
+class ExecutionProfile:
+    """Measured per-request and per-step latency of an inference session."""
+
+    session_name: str
+    requests: int
+    total_seconds: float
+    workspace_bytes: int
+    arenas_allocated: int
+    steps: List[StepTiming] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.total_seconds
+
+    @property
+    def mean_latency_us(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.total_seconds / self.requests * 1e6
+
+    def render(self, top: int = 20) -> str:
+        """Text table of the slowest steps plus session-level throughput."""
+        lines = [
+            f"serving profile: {self.session_name} — "
+            f"{self.requests} requests, "
+            f"{self.requests_per_second:.1f} req/s, "
+            f"{self.mean_latency_us:.1f} us mean latency, "
+            f"{self.workspace_bytes / 1e6:.2f} MB arena "
+            f"x{self.arenas_allocated}",
+        ]
+        timed = [s for s in self.steps if s.calls > 0]
+        if not timed:
+            lines.append("(per-step timing disabled; profile=True to enable)")
+            return "\n".join(lines)
+        step_total = sum(s.total_seconds for s in timed) or 1e-12
+        lines.append(
+            f"{'step':36s} {'kind':>7s} {'calls':>7s} {'mean us':>9s} "
+            f"{'%':>6s}"
+        )
+        for s in sorted(timed, key=lambda s: -s.total_seconds)[:top]:
+            lines.append(
+                f"{s.name[:36]:36s} {s.kind:>7s} {s.calls:7d} "
+                f"{s.mean_us:9.2f} {s.total_seconds / step_total * 100:6.1f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Serving sessions: one execution plan, pooled arenas, request metrics.
+
+An :class:`InferenceSession` owns exactly one :class:`~repro.runtime.
+executor.ExecutionPlan` for a TE program and replays it per request. Arenas
+(the preallocated intermediate workspaces) are checked out of a small pool
+under a lock, so the session is safe for repeated *and* concurrent calls:
+serial traffic reuses a single arena for its whole lifetime, while N
+overlapping requests grow the pool to at most N workspaces, once.
+
+The session also feeds the profiler: per-request wall latency is always
+recorded (two clock reads), and ``profile=True`` additionally accumulates
+per-step wall time, surfaced as an :class:`~repro.runtime.profiler.
+ExecutionProfile` via :meth:`InferenceSession.profile_report`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.graph.te_program import TEProgram
+from repro.runtime.executor import Arena, ExecutionPlan
+from repro.te.tensor import Tensor
+
+
+class InferenceSession:
+    """Compile-once, replay-many serving wrapper around one TE program."""
+
+    def __init__(
+        self,
+        program: TEProgram,
+        name: Optional[str] = None,
+        profile: bool = False,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> None:
+        self.name = name if name is not None else program.name
+        self.plan = plan if plan is not None else ExecutionPlan(program)
+        self.profile = profile
+        self._lock = threading.Lock()
+        self._free_arenas: List[Arena] = []
+        self.arenas_allocated = 0
+        self.request_count = 0
+        self.request_seconds = 0.0
+        self.last_latency_s = 0.0
+        self._step_seconds = [0.0] * self.plan.num_steps
+        self._step_calls = 0
+
+    # ---- arena pool ------------------------------------------------------
+
+    def _acquire_arena(self) -> Arena:
+        with self._lock:
+            if self._free_arenas:
+                return self._free_arenas.pop()
+            self.arenas_allocated += 1
+        return self.plan.new_arena()
+
+    def _release_arena(self, arena: Arena) -> None:
+        with self._lock:
+            self._free_arenas.append(arena)
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes of one arena (total resident: ``* arenas_allocated``)."""
+        return self.plan.workspace_bytes
+
+    # ---- execution -------------------------------------------------------
+
+    def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
+        """Execute one request; returns outputs in program order."""
+        bound = self.plan.bind_feeds(feeds)
+        arena = self._acquire_arena()
+        local_steps = [0.0] * self.plan.num_steps if self.profile else None
+        start = time.perf_counter()
+        try:
+            outputs = self.plan.execute(bound, arena, local_steps)
+        finally:
+            self._release_arena(arena)
+        elapsed = time.perf_counter() - start
+
+        with self._lock:
+            self.request_count += 1
+            self.request_seconds += elapsed
+            self.last_latency_s = elapsed
+            if local_steps is not None:
+                self._step_calls += 1
+                for i, seconds in enumerate(local_steps):
+                    self._step_seconds[i] += seconds
+        return outputs
+
+    def run_by_name(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
+        """Like :meth:`run` but feeds are keyed by placeholder name."""
+        by_name = {t.name: t for t in self.plan.program.inputs}
+        resolved: Dict[Tensor, np.ndarray] = {}
+        for name, value in feeds.items():
+            tensor = by_name.get(name)
+            if tensor is None:
+                raise ExecutionError(
+                    f"no input named {name!r}; available inputs: "
+                    f"{sorted(by_name)}"
+                )
+            resolved[tensor] = value
+        return self.run(resolved)
+
+    # ---- metrics ---------------------------------------------------------
+
+    @property
+    def requests_per_second(self) -> float:
+        """Mean sustained throughput over every request so far."""
+        if self.request_seconds <= 0.0:
+            return 0.0
+        return self.request_count / self.request_seconds
+
+    def profile_report(self):
+        """Per-step/per-request timing as an ``ExecutionProfile``."""
+        from repro.runtime.profiler import ExecutionProfile, StepTiming
+
+        with self._lock:
+            steps = [
+                StepTiming(
+                    index=step.index,
+                    name=step.name,
+                    kind=step.kind,
+                    calls=self._step_calls,
+                    total_seconds=self._step_seconds[step.index],
+                )
+                for step in self.plan.steps
+            ]
+            return ExecutionProfile(
+                session_name=self.name,
+                requests=self.request_count,
+                total_seconds=self.request_seconds,
+                workspace_bytes=self.workspace_bytes,
+                arenas_allocated=self.arenas_allocated,
+                steps=steps,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<InferenceSession {self.name}: {self.plan.num_steps} steps, "
+            f"{self.request_count} requests served>"
+        )

@@ -67,6 +67,20 @@ def _gelu(x: np.ndarray) -> np.ndarray:
     return 0.5 * x * (1.0 + _sp.erf(x / np.sqrt(2.0)))
 
 
+def _cast_roundtrip(dtype: type):
+    """Quantize through ``dtype`` while keeping the float64 compute type.
+
+    The evaluator computes in float64 throughout; a precision cast must
+    therefore *round-trip* — drop the mantissa/exponent bits the narrow type
+    cannot represent, then widen back — or it would be a silent identity.
+    """
+
+    def cast(x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=dtype).astype(np.float64)
+
+    return cast
+
+
 _CALL_FN = {
     "exp": np.exp,
     "log": np.log,
@@ -80,8 +94,8 @@ _CALL_FN = {
     "abs": np.abs,
     "floor": np.floor,
     "ceil": np.ceil,
-    "cast_fp16": lambda x: np.asarray(x, dtype=np.float32),
-    "cast_fp32": lambda x: np.asarray(x, dtype=np.float32),
+    "cast_fp16": _cast_roundtrip(np.float16),
+    "cast_fp32": _cast_roundtrip(np.float32),
 }
 
 

@@ -49,6 +49,18 @@ class TestCommands:
                      "--jobs", "2"]) == 0
         assert "profile:" in capsys.readouterr().out
 
+    def test_serve_bench_mmoe(self, capsys):
+        assert main(["serve-bench", "mmoe", "--calls", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs bit-identical: True" in out
+        assert "plan replay" in out and "interpreter" in out
+        assert "speedup" in out
+        assert "serving profile" in out
+
+    def test_serve_bench_unknown_tiny_model(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "alexnet"])
+
     def test_compile_stats_cold_then_warm(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         assert main(["compile-stats", "mmoe", "--cache-dir", cache,

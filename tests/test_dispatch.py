@@ -85,3 +85,46 @@ class TestExecution:
     def test_missing_dynamic_input_rejected(self, dispatcher):
         with pytest.raises(ExecutionError):
             dispatcher.run({"w1": np.zeros((16, 32))})
+
+
+class TestPlanReuse:
+    """Padded-bucket runs must replay the bucket's cached execution plan —
+    planning happens once per bucket, not once per request."""
+
+    def test_repeated_padded_runs_reuse_plan(self, dispatcher):
+        from repro.runtime.executor import ExecutionPlan
+
+        rng = np.random.default_rng(3)
+        dispatcher.run(feeds_for(11, rng))  # pads 11 -> bucket 16
+        module = dispatcher.module_for(16)
+        plan = module.session.plan
+        built = ExecutionPlan.plans_built
+        for seq_len in (9, 13, 16, 10):  # all land in bucket 16
+            dispatcher.run(feeds_for(seq_len, rng))
+        assert module.session.plan is plan
+        assert ExecutionPlan.plans_built == built  # no re-planning
+        assert module.session.request_count == 5
+        assert module.session.arenas_allocated == 1
+
+    def test_each_bucket_gets_its_own_plan(self, dispatcher):
+        rng = np.random.default_rng(4)
+        dispatcher.run(feeds_for(7, rng))
+        dispatcher.run(feeds_for(30, rng))
+        small = dispatcher.module_for(8).session.plan
+        large = dispatcher.module_for(32).session.plan
+        assert small is not large
+        assert small.program is not large.program
+
+    def test_padded_run_slices_outputs_back(self, dispatcher):
+        """Plan execution happens at bucket shape; the caller still sees
+        request-shaped outputs that match an exact-shape reference."""
+        rng = np.random.default_rng(5)
+        feeds = feeds_for(13, rng)
+        (out,) = dispatcher.run(feeds)
+        assert out.shape == (13, 8)
+        assert dispatcher.history[-1].padded is True
+        ref = np.maximum(feeds["x"] @ feeds["w1"], 0) @ feeds["w2"]
+        assert np.allclose(out, ref, atol=1e-8)
+        # The bucket module itself computed at the padded shape.
+        bucket_out = dispatcher.module_for(16).program.outputs[0]
+        assert bucket_out.shape[0] == 16

@@ -52,9 +52,59 @@ class TestPlanning:
         plan = plan_memory(chain_program())
         plan.validate()  # must not raise
 
+    def test_validate_raises_on_overlap(self):
+        """A corrupted layout must raise PlanningError, not assert."""
+        from repro.errors import PlanningError
+        from repro.runtime.memory_planner import BufferAssignment
+
+        b = GraphBuilder("d")
+        x = b.input((16, 16))
+        out = b.add(b.relu(x), b.sigmoid(x))
+        program = lower_graph(b.build([out]))
+        plan = plan_memory(program)
+        # Force every simultaneously-live intermediate onto offset 0.
+        for tensor, a in list(plan.assignments.items()):
+            plan.assignments[tensor] = BufferAssignment(
+                tensor, 0, a.nbytes, a.live
+            )
+        with pytest.raises(PlanningError):
+            plan.validate()
+
     def test_render(self):
         text = plan_memory(chain_program()).render()
         assert "workspace" in text
+
+
+class TestExclusiveWrites:
+    """The execution engine's packing flavour: operands never share bytes
+    with the step that consumes them."""
+
+    def test_chain_ping_pongs(self):
+        program = chain_program(length=8)
+        plan = plan_memory(program, exclusive_writes=True)
+        buffer_size = ALIGNMENT * -(-32 * 32 * 4 // ALIGNMENT)
+        # In-place reuse is forbidden, so a chain needs exactly two buffers.
+        assert plan.workspace_bytes == 2 * buffer_size
+
+    def test_consumer_never_shares_operand_bytes(self):
+        program = chain_program(length=6)
+        plan = plan_memory(program, exclusive_writes=True)
+        plan.validate()
+        for node in program.nodes:
+            out = plan.assignments.get(node.tensor)
+            if out is None:
+                continue
+            for operand in node.inputs:
+                inp = plan.assignments.get(operand)
+                if inp is None:
+                    continue
+                assert out.end <= inp.offset or inp.end <= out.offset
+
+    def test_sizer_overrides_tensor_bytes(self):
+        program = chain_program(length=2, size=(8, 8))
+        plan = plan_memory(program, sizer=lambda t: t.num_elements * 8)
+        for tensor, a in plan.assignments.items():
+            assert a.nbytes >= tensor.num_elements * 8
 
 
 @pytest.mark.parametrize("name", sorted(TINY_MODELS))

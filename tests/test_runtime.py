@@ -25,8 +25,13 @@ class TestCompiledModule:
         assert len(outputs) == 2
 
     def test_run_by_name_unknown_input(self, module):
-        with pytest.raises(ExecutionError):
+        """The error must name the bad key *and* list what is available."""
+        with pytest.raises(ExecutionError, match="nonexistent") as excinfo:
             module.run_by_name({"nonexistent": np.zeros((1,))})
+        message = str(excinfo.value)
+        assert "available inputs" in message
+        for tensor in module.program.inputs:
+            assert tensor.name in message
 
     def test_render_kernels(self, module):
         text = module.render_kernels(limit=1)

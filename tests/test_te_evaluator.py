@@ -87,6 +87,33 @@ class TestElementwise:
         x = rng.standard_normal((3, 4))
         assert np.allclose(evaluate(flat, {a: x}), x.reshape(-1))
 
+    def test_cast_fp16_quantizes(self, rng):
+        """cast_fp16 must round-trip through float16, not be an identity:
+        values pick up real fp16 rounding error."""
+        a = placeholder((8,))
+        b = compute((8,), lambda i: call("cast_fp16", a[i]))
+        x = rng.standard_normal(8) * 3.0 + 1 / 3
+        got = evaluate(b, {a: x})
+        expected = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(got, expected)
+        assert got.dtype == np.float64          # compute type is preserved
+        assert not np.array_equal(got, x)       # quantization really happened
+
+    def test_cast_fp16_halves_resolution(self):
+        a = placeholder((1,))
+        b = compute((1,), lambda i: call("cast_fp16", a[i]))
+        # 1 + 2^-12 is representable in fp32 but rounds away in fp16.
+        x = np.array([1.0 + 2.0 ** -12])
+        assert evaluate(b, {a: x})[0] == 1.0
+
+    def test_cast_fp32_quantizes(self, rng):
+        a = placeholder((8,))
+        b = compute((8,), lambda i: call("cast_fp32", a[i]))
+        x = rng.standard_normal(8) + 1 / 3
+        got = evaluate(b, {a: x})
+        assert np.array_equal(got, x.astype(np.float32).astype(np.float64))
+        assert got.dtype == np.float64
+
 
 class TestReductions:
     def test_matmul_einsum_path(self, rng):
