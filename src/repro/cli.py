@@ -9,6 +9,7 @@ Usage::
     python -m repro export swin /tmp/swin.json
     python -m repro compile /tmp/swin.json      # compile an exported graph
     python -m repro compile-stats bert --cache-dir /tmp/cache --repeat 2
+    python -m repro lint bert --strict          # static verification
 
 ``compile`` and ``compile-stats`` honour ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) for the persistent compile cache
@@ -208,6 +209,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Compile a model and run the full static verifier over the result."""
+    from repro.verify import verify_module
+
+    graph = _resolve_model(args.model)
+    module = _compiler_from_args(args).compile(graph)
+    report = verify_module(module)
+    print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     graph = _resolve_model(args.model)
     save_graph(graph, args.path)
@@ -286,6 +298,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=12,
                    help="slowest plan steps to print")
     p.set_defaults(fn=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="compile a model and statically verify the result "
+             "(bounds, shape/dtype, well-formedness, arena hazards, "
+             "sync safety)",
+    )
+    add_common(p)
+    add_accel(p)
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors (exit 1)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("export", help="export a model to the JSON format")
     add_common(p)

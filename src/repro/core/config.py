@@ -21,9 +21,11 @@ class SouffleOptions:
     global_sync: bool = True
     subprogram_opt: bool = True
     validate: bool = False  # differentially check every transformation
+    verify: bool = False    # statically verify the IR at every pipeline stage
 
     @classmethod
-    def from_level(cls, level: int, validate: bool = False) -> "SouffleOptions":
+    def from_level(cls, level: int, validate: bool = False,
+                   verify: bool = False) -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -33,6 +35,7 @@ class SouffleOptions:
             global_sync=level >= 3,
             subprogram_opt=level >= 4,
             validate=validate,
+            verify=verify,
         )
 
     @property

@@ -48,6 +48,7 @@ from repro.tir.reuse_cache import apply_reuse, cache_capacity_bytes
 from repro.transform.horizontal import horizontal_transform
 from repro.transform.semantics import assert_equivalent
 from repro.transform.vertical import vertical_transform
+from repro.verify import assert_verified, verify_kernels_or_raise
 
 
 class SouffleCompiler:
@@ -94,6 +95,8 @@ class SouffleCompiler:
 
         with PhaseTimer(stats, "lowering"):
             program = lower_graph(model) if isinstance(model, Graph) else model
+        if options.verify:
+            assert_verified(program, "lowering")
 
         if options.horizontal:
             before = program
@@ -101,12 +104,16 @@ class SouffleCompiler:
                 program, _ = horizontal_transform(program)
             if options.validate:
                 assert_equivalent(before, program)
+            if options.verify:
+                assert_verified(program, "horizontal_transform")
         if options.vertical:
             before = program
             with PhaseTimer(stats, "vertical_transform"):
                 program, _ = vertical_transform(program)
             if options.validate:
                 assert_equivalent(before, program)
+            if options.verify:
+                assert_verified(program, "vertical_transform")
         return program
 
     # ---- cache plumbing ------------------------------------------------------
@@ -211,6 +218,8 @@ class SouffleCompiler:
             )
         stats.parallel_workers = pool.used_workers
         stats.parallel_fallback = pool.fell_back
+        if options.verify:
+            verify_kernels_or_raise(kernels, self.device, program)
 
         # ---- subprogram-level optimisation (Sec. 6.5) -----------------------------
         if options.subprogram_opt:
@@ -253,13 +262,14 @@ def compile_model(
     device: Optional[GPUSpec] = None,
     level: int = 4,
     validate: bool = False,
+    verify: bool = False,
     cache=None,
     max_workers: Optional[int] = 1,
 ) -> CompiledModule:
     """One-call convenience API: compile at optimisation level V0..V4."""
     compiler = SouffleCompiler(
         device=device,
-        options=SouffleOptions.from_level(level, validate),
+        options=SouffleOptions.from_level(level, validate, verify),
         cache=cache,
         max_workers=max_workers,
     )

@@ -47,5 +47,9 @@ class PlanningError(ReproError):
     """Execution-plan construction failed (overlapping arena layout, ...)."""
 
 
+class VerificationError(ReproError):
+    """The static verifier found errors (see ``repro.verify``)."""
+
+
 class UnsupportedOperatorError(LoweringError):
     """Operator has no TE lowering (paper Sec. 6.7: e.g. TopK, Conditional)."""

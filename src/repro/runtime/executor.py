@@ -370,35 +370,26 @@ class ExecutionPlan:
     def _validate_layout(self) -> None:
         """Fail loudly at plan time on any unsafe arena layout.
 
-        Beyond the plan's own pairwise liveness check, every step's output
-        bytes must be disjoint from each of its operand buffers: steps write
-        results through ``out=`` while operand views are being read.
+        Delegates to the verifier's arena-hazard pass (``repro.verify``),
+        which statically detects missing assignments, step-level WAR
+        hazards (steps write results through ``out=`` while operand views
+        are being read), pairwise WAW/aliasing and stale liveness, and
+        raises :class:`~repro.errors.PlanningError` from its errors.
         """
+        from repro.verify import Severity, verify_plan
+
         self.memory_plan.validate()
-        assignments = self.memory_plan.assignments
-        ranges = {
-            id(t): (a.offset, a.offset + t.num_elements * EXEC_ITEMSIZE)
-            for t, a in assignments.items()
-        }
-        for node in self.program.nodes:
-            out_range = ranges.get(id(node.tensor))
-            if out_range is None:
-                if not self.program.is_output(node.tensor):
-                    raise PlanningError(
-                        f"intermediate {node.name} has no arena assignment"
-                    )
-                continue
-            for operand in node.inputs:
-                in_range = ranges.get(id(operand))
-                if in_range is None:
-                    continue
-                if out_range[0] < in_range[1] and in_range[0] < out_range[1]:
-                    raise PlanningError(
-                        f"arena layout aliases step {node.name} "
-                        f"{out_range} with its operand {operand.name} "
-                        f"{in_range}; in-place execution would corrupt "
-                        "results"
-                    )
+        report = verify_plan(
+            self.program,
+            self.memory_plan,
+            sizer=lambda t: t.num_elements * EXEC_ITEMSIZE,
+            require_exclusive_writes=True,
+        )
+        if report.has_errors:
+            raise PlanningError(
+                "unsafe arena layout:\n"
+                + report.render(min_severity=Severity.ERROR)
+            )
 
     # ---- execution -------------------------------------------------------
 

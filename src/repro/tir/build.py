@@ -168,6 +168,7 @@ def build_kernel(
     grid_blocks = 1
     threads = 1
     smem = 0
+    regs = 32
 
     for node in nodes:
         sched = schedule_of(node)
@@ -176,6 +177,7 @@ def build_kernel(
         grid_blocks = max(grid_blocks, sched.grid_blocks)
         threads = max(threads, sched.threads_per_block)
         smem = max(smem, sched.shared_mem_per_block)
+        regs = max(regs, sched.regs_per_thread)
         stmts = stage_stmts[depth[node]]
 
         # Input loads.
@@ -235,8 +237,9 @@ def build_kernel(
     syncs = max_depth
     if syncs > 0:
         # A kernel containing grid syncs must fit in one wave; larger stages
-        # loop over tiles inside the persistent blocks.
-        wave = device.max_blocks_per_wave(threads, smem)
+        # loop over tiles inside the persistent blocks. Register pressure
+        # bounds the wave just like threads and shared memory do.
+        wave = device.max_blocks_per_wave(threads, smem, regs)
         grid_blocks = min(grid_blocks, max(wave, 1))
 
     spec = KernelSpec(
@@ -244,9 +247,7 @@ def build_kernel(
         grid_blocks=grid_blocks,
         threads_per_block=threads,
         shared_mem_per_block=smem,
-        regs_per_thread=max(
-            (schedules[n].regs_per_thread for n in nodes), default=32
-        ),
+        regs_per_thread=regs,
         fp16_flops=fp16_flops,
         fp32_flops=fp32_flops,
         atomic_bytes=atomic_bytes,

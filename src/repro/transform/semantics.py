@@ -32,13 +32,33 @@ class EquivalenceReport:
         return self.equivalent
 
 
+def _random_feed(rng: np.random.Generator, tensor: Tensor,
+                 scale: float) -> np.ndarray:
+    """One feed respecting the placeholder's declared dtype.
+
+    Integer placeholders (embedding ids, masks) get small integers and
+    booleans get 0/1 — feeding them gaussians would index out of range or
+    break predicate semantics. Float16 values are rounded through the
+    storage dtype so both evaluation paths see representable numbers.
+    """
+    dtype = np.dtype(tensor.dtype)
+    if dtype == np.bool_:
+        return rng.integers(0, 2, size=tensor.shape).astype(np.float64)
+    if np.issubdtype(dtype, np.integer):
+        return rng.integers(-8, 9, size=tensor.shape).astype(np.float64)
+    values = rng.standard_normal(tensor.shape) * scale
+    if dtype == np.float16:
+        return values.astype(np.float16).astype(np.float64)
+    return values
+
+
 def random_feeds(
     program: TEProgram, seed: int = 0, scale: float = 1.0
 ) -> Dict[Tensor, np.ndarray]:
     """Deterministic random inputs for every placeholder."""
     rng = np.random.default_rng(seed)
     return {
-        tensor: rng.standard_normal(tensor.shape) * scale
+        tensor: _random_feed(rng, tensor, scale)
         for tensor in program.inputs
     }
 

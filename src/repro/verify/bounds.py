@@ -1,0 +1,221 @@
+"""Bounds pass: prove every tensor read in-bounds (paper Sec. 5.2).
+
+Quasi-affine read maps over box iteration domains have exactly computable
+index ranges: each affine term attains its extreme at a corner of the
+domain, so interval analysis is *precise* for the affine subset
+(:func:`repro.te.affine.linearize`) and a containment failure is a provable
+out-of-bounds access. Clamped (``min``/``max``) and ``floordiv``/``mod``
+indices are handled conservatively by the shared interval evaluator.
+
+``if_then_else`` predicates refine iteration domains inside branches
+(``if i < 64: A[i] ...`` proves ``A`` reads at most index 63). A read that
+is in-bounds *only* thanks to such a guard is still reported as a warning:
+this repo's execution backends (numpy ``np.where``) evaluate both branches
+eagerly, so the guarded-out lane is materialised anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.te.affine import linearize
+from repro.te.expr import (
+    BinOp,
+    Cmp,
+    Const,
+    Expr,
+    IfThenElse,
+    Reduce,
+    TensorRead,
+    Var,
+)
+from repro.te.tensor import Tensor
+from repro.transform.simplify import (
+    Interval,
+    VarRanges,
+    infer_interval,
+    ranges_for_tensor,
+)
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    PASS_BOUNDS,
+    error,
+    warning,
+)
+from repro.verify.view import ProgramLike, as_view
+
+
+def _is_affine(index: Expr, ranges: VarRanges) -> bool:
+    """Whether the index is in the exactly-analysable quasi-affine subset."""
+    try:
+        linearize(index, list(ranges))
+        return True
+    except Exception:
+        return False
+
+
+def _refine_cmp(op: str, lhs: Expr, rhs: Expr,
+                ranges: VarRanges) -> Optional[Tuple[str, Interval]]:
+    """Refinement from one comparison: the interval ``lhs_var`` must lie in
+    for the comparison to hold. Handles ``var CMP const`` and the mirrored
+    ``const CMP var`` form."""
+    if isinstance(rhs, Var) and not isinstance(lhs, Var):
+        mirror = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq"}
+        if op not in mirror:
+            return None
+        lhs, rhs, op = rhs, lhs, mirror[op]
+    if not isinstance(lhs, Var) or lhs.name not in ranges:
+        return None
+    bound = infer_interval(rhs, ranges)
+    if bound is None or bound.lo != bound.hi:
+        return None
+    c = bound.lo
+    base = ranges[lhs.name]
+    if op == "lt":
+        refined = Interval(base.lo, min(base.hi, c - 1))
+    elif op == "le":
+        refined = Interval(base.lo, min(base.hi, c))
+    elif op == "gt":
+        refined = Interval(max(base.lo, c + 1), base.hi)
+    elif op == "ge":
+        refined = Interval(max(base.lo, c), base.hi)
+    elif op == "eq":
+        refined = Interval(max(base.lo, c), min(base.hi, c))
+    else:
+        return None
+    return lhs.name, refined
+
+
+def _refinements(cond: Expr, ranges: VarRanges,
+                 negate: bool) -> Dict[str, Interval]:
+    """Variable-domain refinements implied by a branch condition.
+
+    Conjunctions written as products of comparisons (the pad-lowering idiom
+    ``(h >= p) * (h < H + p)``) refine the taken branch; their negation is a
+    disjunction, which refines nothing. Unknown conditions refine nothing.
+    """
+    if isinstance(cond, BinOp) and cond.op == "mul" and not negate:
+        out = _refinements(cond.lhs, ranges, negate=False)
+        out.update(_refinements(cond.rhs, ranges, negate=False))
+        return out
+    if isinstance(cond, Cmp):
+        op = cond.op
+        if negate:
+            flipped = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt"}
+            if op not in flipped:
+                return {}
+            op = flipped[op]
+        hit = _refine_cmp(op, cond.lhs, cond.rhs, ranges)
+        if hit is not None:
+            name, interval = hit
+            return {name: interval}
+    return {}
+
+
+def _check_read(
+    read: TensorRead,
+    base_ranges: VarRanges,
+    refined_ranges: VarRanges,
+    te_name: str,
+    diags: List[Diagnostic],
+) -> None:
+    tensor = read.tensor
+    shape: Sequence[int] = tuple(getattr(tensor, "shape", ()))
+    tname = getattr(tensor, "name", "?")
+    if len(shape) != len(read.indices):
+        # Arity mismatch is shape-dtype territory; bounds cannot proceed.
+        return
+    for dim, index in enumerate(read.indices):
+        extent = shape[dim]
+        loc = Location("te", te_name, f"read {tname}[...] axis {dim}")
+        refined = infer_interval(index, refined_ranges)
+        if refined is None:
+            diags.append(warning(
+                PASS_BOUNDS, loc,
+                f"cannot bound index expression {index!r} "
+                f"(axis extent {extent})",
+                "restrict the index to the quasi-affine subset "
+                "(+, -, const *, //, %, min, max) so the verifier can "
+                "reason about it",
+            ))
+            continue
+        if refined.hi < refined.lo:
+            continue  # contradictory refinement: branch is unreachable
+        if refined.within(0, extent - 1):
+            base = infer_interval(index, base_ranges)
+            if base is None or not base.within(0, extent - 1):
+                diags.append(warning(
+                    PASS_BOUNDS, loc,
+                    f"read of {tname} is in-bounds only under its guarding "
+                    f"predicate (unguarded interval "
+                    f"{[base.lo, base.hi] if base else '?'}, axis extent "
+                    f"{extent}); eager backends evaluate both branches",
+                    f"clamp the index with min/max instead of relying on "
+                    f"the if_then_else predicate",
+                ))
+            continue
+        certainly_oob = refined.hi < 0 or refined.lo > extent - 1
+        exact = _is_affine(index, refined_ranges)
+        message = (
+            f"index {index!r} spans [{refined.lo}, {refined.hi}] but "
+            f"{tname} axis {dim} has extent {extent}"
+        )
+        hint = (
+            f"clamp with min/max or shrink the iteration domain so the "
+            f"index stays within [0, {extent - 1}]"
+        )
+        if certainly_oob or exact:
+            diags.append(error(
+                PASS_BOUNDS, loc, "read out of bounds: " + message, hint
+            ))
+        else:
+            diags.append(warning(
+                PASS_BOUNDS, loc, "possibly out of bounds: " + message, hint
+            ))
+
+
+def _walk_body(
+    expr: Expr,
+    base_ranges: VarRanges,
+    refined_ranges: VarRanges,
+    te_name: str,
+    diags: List[Diagnostic],
+) -> None:
+    """Traverse one TE body, threading predicate refinements into branches."""
+    if isinstance(expr, TensorRead):
+        _check_read(expr, base_ranges, refined_ranges, te_name, diags)
+        for index in expr.indices:
+            _walk_body(index, base_ranges, refined_ranges, te_name, diags)
+        return
+    if isinstance(expr, IfThenElse):
+        _walk_body(expr.cond, base_ranges, refined_ranges, te_name, diags)
+        then_ranges = dict(refined_ranges)
+        then_ranges.update(_refinements(expr.cond, refined_ranges, False))
+        _walk_body(expr.then_value, base_ranges, then_ranges, te_name, diags)
+        else_ranges = dict(refined_ranges)
+        else_ranges.update(_refinements(expr.cond, refined_ranges, True))
+        _walk_body(expr.else_value, base_ranges, else_ranges, te_name, diags)
+        return
+    if isinstance(expr, (BinOp, Cmp)):
+        _walk_body(expr.lhs, base_ranges, refined_ranges, te_name, diags)
+        _walk_body(expr.rhs, base_ranges, refined_ranges, te_name, diags)
+        return
+    if isinstance(expr, Reduce):
+        _walk_body(expr.body, base_ranges, refined_ranges, te_name, diags)
+        return
+    for child in getattr(expr, "args", ()):
+        _walk_body(child, base_ranges, refined_ranges, te_name, diags)
+
+
+def check_bounds(program: ProgramLike) -> List[Diagnostic]:
+    """Run the bounds pass over every TE of a program."""
+    view = as_view(program)
+    diags: List[Diagnostic] = []
+    for node in view.nodes:
+        tensor: Tensor = node.tensor
+        if tensor.op is None:
+            continue
+        ranges = ranges_for_tensor(tensor)
+        _walk_body(tensor.op.body, ranges, dict(ranges), node.name, diags)
+    return diags

@@ -1,0 +1,184 @@
+"""Structured diagnostics for the static verifier.
+
+Every verifier pass reports :class:`Diagnostic` records instead of raising:
+a diagnostic carries the severity, the pass that produced it, a location
+anchored to a TE / step / kernel name, a human-readable message and (when
+the fix is mechanical) a suggestion. A :class:`VerifyReport` aggregates the
+diagnostics of one or more passes and renders them for the ``repro lint``
+driver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+# The five verifier passes (paper Sec. 5 groundings in DESIGN.md).
+PASS_BOUNDS = "bounds"
+PASS_SHAPE_DTYPE = "shape-dtype"
+PASS_WELLFORMED = "wellformed"
+PASS_ARENA_HAZARD = "arena-hazard"
+PASS_SYNC_SAFETY = "sync-safety"
+
+ALL_PASSES = (
+    PASS_BOUNDS,
+    PASS_SHAPE_DTYPE,
+    PASS_WELLFORMED,
+    PASS_ARENA_HAZARD,
+    PASS_SYNC_SAFETY,
+)
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic is anchored.
+
+    ``kind`` is ``te`` / ``tensor`` / ``step`` / ``kernel`` / ``program``;
+    ``name`` is the TE, step or kernel name; ``detail`` optionally narrows
+    the anchor further (e.g. the offending read or axis).
+    """
+
+    kind: str
+    name: str
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        base = f"{self.kind} {self.name}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding."""
+
+    severity: Severity
+    pass_id: str
+    location: Location
+    message: str
+    suggestion: Optional[str] = None
+
+    def render(self) -> str:
+        line = (
+            f"{self.severity.label}[{self.pass_id}] {self.location}: "
+            f"{self.message}"
+        )
+        if self.suggestion:
+            line += f"\n    hint: {self.suggestion}"
+        return line
+
+
+def error(pass_id: str, location: Location, message: str,
+          suggestion: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(Severity.ERROR, pass_id, location, message, suggestion)
+
+
+def warning(pass_id: str, location: Location, message: str,
+            suggestion: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(Severity.WARNING, pass_id, location, message, suggestion)
+
+
+def info(pass_id: str, location: Location, message: str,
+         suggestion: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(Severity.INFO, pass_id, location, message, suggestion)
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated diagnostics from one verifier run."""
+
+    subject: str = "<program>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    passes_run: List[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "VerifyReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        for pass_id in other.passes_run:
+            if pass_id not in self.passes_run:
+                self.passes_run.append(pass_id)
+
+    # ---- queries --------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """No errors (warnings and infos are allowed)."""
+        return not self.has_errors
+
+    def by_pass(self) -> Dict[str, List[Diagnostic]]:
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for d in self.diagnostics:
+            grouped.setdefault(d.pass_id, []).append(d)
+        return grouped
+
+    def exit_code(self, strict: bool = False) -> int:
+        """``repro lint`` contract: errors -> 1, warnings-only -> 0 unless
+        ``strict`` promotes warnings to failures."""
+        if self.has_errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ---- rendering ------------------------------------------------------
+
+    def render(self, min_severity: Severity = Severity.WARNING) -> str:
+        """Human-readable report: one block per diagnostic plus a summary."""
+        shown = [
+            d for d in sorted(
+                self.diagnostics, key=lambda d: (-int(d.severity), d.pass_id)
+            )
+            if d.severity >= min_severity
+        ]
+        lines = [d.render() for d in shown]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        passes = ", ".join(self.passes_run) if self.passes_run else "none"
+        summary = (
+            f"{self.subject}: {n_err} error(s), {n_warn} warning(s) "
+            f"[passes: {passes}]"
+        )
+        if not lines:
+            return summary
+        return "\n".join(lines + [summary])
+
+    def __repr__(self) -> str:
+        return (
+            f"<VerifyReport {self.subject}: {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings, {len(self.diagnostics)} total>"
+        )

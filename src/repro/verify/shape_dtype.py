@@ -1,0 +1,309 @@
+"""Shape/dtype pass: re-infer result types bottom-up and cross-check
+declarations.
+
+Shapes in this IR are fully determined by a TE's spatial axes, so the shape
+check is exact: the declared ``Tensor.shape`` must equal the axis extents,
+axis for axis. Dtypes are inferred over the body with numpy-style value
+promotion: scalar constants and iteration variables are *weak* (they adapt
+to the tensor operand's dtype, the way a python scalar does in numpy),
+tensor reads and explicit casts are *strong*. A declared dtype that
+contradicts a strong inference in category (int vs float) — or contradicts
+an explicit top-level ``cast_fp16``/``cast_fp32`` — is an error; a plain
+precision-width drift is a warning with a suggested cast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.te.expr import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    IfThenElse,
+    Reduce,
+    TensorRead,
+    Var,
+)
+from repro.te.tensor import DTYPE_BYTES, Tensor
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    PASS_SHAPE_DTYPE,
+    error,
+    warning,
+)
+from repro.verify.view import ProgramLike, as_view
+
+# Promotion lattice position (wider wins within a category).
+_ORDER = {"bool": 0, "int32": 1, "int64": 2,
+          "float16": 3, "float32": 4, "float64": 5}
+
+_CATEGORY = {"bool": "bool", "int32": "int", "int64": "int",
+             "float16": "float", "float32": "float", "float64": "float"}
+
+_CAST_TARGET = {"cast_fp16": "float16", "cast_fp32": "float32"}
+
+# Intrinsics that preserve their argument's dtype; all others compute in
+# floating point and promote integer arguments to float32.
+_DTYPE_PRESERVING = {"abs", "relu", "floor", "ceil"}
+
+
+@dataclass(frozen=True)
+class InferredType:
+    """A dtype plus whether it is weak (adapts to tensor operands)."""
+
+    dtype: str
+    weak: bool = False
+
+    @property
+    def category(self) -> str:
+        return _CATEGORY[self.dtype]
+
+
+def category_of(dtype: str) -> str:
+    return _CATEGORY[dtype]
+
+
+def _promote(a: InferredType, b: InferredType) -> InferredType:
+    if a.dtype == b.dtype:
+        return InferredType(a.dtype, a.weak and b.weak)
+    if a.weak != b.weak:
+        weakling, strong = (a, b) if a.weak else (b, a)
+        # A weak float pulls an integer tensor into floating point (numpy
+        # scalar promotion); otherwise the tensor operand's dtype wins.
+        if weakling.category == "float" and strong.category != "float":
+            return InferredType("float32", False)
+        return strong
+    # Same strength: widest wins; mixing int and float jumps to float32+.
+    wide = a if _ORDER[a.dtype] >= _ORDER[b.dtype] else b
+    if a.category != b.category and "float" in (a.category, b.category):
+        floaty = a if a.category == "float" else b
+        dtype = floaty.dtype if _ORDER[floaty.dtype] >= _ORDER["float32"] \
+            else "float32"
+        return InferredType(dtype, a.weak and b.weak)
+    return InferredType(wide.dtype, a.weak and b.weak)
+
+
+def infer_dtype(expr: Expr) -> Optional[InferredType]:
+    """Bottom-up dtype inference; ``None`` when the node is unknown."""
+    if isinstance(expr, Const):
+        dtype = expr.dtype if expr.dtype in _ORDER else None
+        return InferredType(dtype, weak=True) if dtype else None
+    if isinstance(expr, Var):
+        return InferredType("int32", weak=True)
+    if isinstance(expr, Cmp):
+        return InferredType("bool", weak=False)
+    if isinstance(expr, BinOp):
+        lhs, rhs = infer_dtype(expr.lhs), infer_dtype(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        out = _promote(lhs, rhs)
+        if expr.op == "div" and out.category != "float":
+            return InferredType("float32", out.weak)
+        return out
+    if isinstance(expr, Call):
+        if expr.func in _CAST_TARGET:
+            return InferredType(_CAST_TARGET[expr.func], weak=False)
+        args = [infer_dtype(a) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        out = args[0]
+        for a in args[1:]:
+            out = _promote(out, a)
+        if expr.func in _DTYPE_PRESERVING:
+            return out
+        if out.category != "float":
+            return InferredType("float32", out.weak)
+        return out
+    if isinstance(expr, IfThenElse):
+        then_t = infer_dtype(expr.then_value)
+        else_t = infer_dtype(expr.else_value)
+        if then_t is None or else_t is None:
+            return None
+        return _promote(then_t, else_t)
+    if isinstance(expr, TensorRead):
+        dtype = getattr(expr.tensor, "dtype", None)
+        if dtype not in _ORDER:
+            return None
+        return InferredType(dtype, weak=False)
+    if isinstance(expr, Reduce):
+        return infer_dtype(expr.body)
+    return None
+
+
+def _check_indices(read: TensorRead, te_name: str,
+                   diags: List[Diagnostic]) -> None:
+    tensor = read.tensor
+    ndim = len(getattr(tensor, "shape", ()))
+    tname = getattr(tensor, "name", "?")
+    loc = Location("te", te_name, f"read {tname}[...]")
+    if ndim != len(read.indices):
+        diags.append(error(
+            PASS_SHAPE_DTYPE, loc,
+            f"{tname} has {ndim} dims but is indexed with "
+            f"{len(read.indices)} expressions",
+            "make the index arity match the tensor rank",
+        ))
+        return
+    for dim, index in enumerate(read.indices):
+        inferred = infer_dtype(index)
+        if inferred is None:
+            continue
+        if inferred.category == "float" and not inferred.weak:
+            diags.append(error(
+                PASS_SHAPE_DTYPE, loc,
+                f"axis {dim} index has floating-point dtype "
+                f"{inferred.dtype}",
+                "indices must be integer expressions",
+            ))
+        elif inferred.category == "bool":
+            diags.append(warning(
+                PASS_SHAPE_DTYPE, loc,
+                f"axis {dim} index is a boolean predicate",
+                "use if_then_else to select between integer indices",
+            ))
+
+
+def _walk_reads(expr: Expr, te_name: str, diags: List[Diagnostic]) -> None:
+    if isinstance(expr, TensorRead):
+        _check_indices(expr, te_name, diags)
+        for index in expr.indices:
+            _walk_reads(index, te_name, diags)
+        return
+    if isinstance(expr, (BinOp, Cmp)):
+        _walk_reads(expr.lhs, te_name, diags)
+        _walk_reads(expr.rhs, te_name, diags)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            _walk_reads(a, te_name, diags)
+    elif isinstance(expr, IfThenElse):
+        _walk_reads(expr.cond, te_name, diags)
+        _walk_reads(expr.then_value, te_name, diags)
+        _walk_reads(expr.else_value, te_name, diags)
+    elif isinstance(expr, Reduce):
+        _walk_reads(expr.body, te_name, diags)
+
+
+def _check_node_shape(tensor: Tensor, te_name: str,
+                      diags: List[Diagnostic]) -> None:
+    op = tensor.op
+    assert op is not None
+    loc = Location("te", te_name)
+    if len(op.axes) != tensor.ndim:
+        diags.append(error(
+            PASS_SHAPE_DTYPE, loc,
+            f"declared shape {tensor.shape} has {tensor.ndim} dims but the "
+            f"compute op iterates {len(op.axes)} spatial axes",
+            "one spatial axis per output dimension",
+        ))
+        return
+    inferred_shape = tuple(ax.extent for ax in op.axes)
+    if inferred_shape != tensor.shape:
+        diags.append(error(
+            PASS_SHAPE_DTYPE, loc,
+            f"declared shape {tensor.shape} != axis extents "
+            f"{inferred_shape}",
+            "declare the tensor with the extents its axes iterate",
+        ))
+    seen = set()
+    for ax in op.axes:
+        if ax.kind != "spatial":
+            diags.append(error(
+                PASS_SHAPE_DTYPE, loc,
+                f"output axis {ax.name} has kind {ax.kind!r}",
+                "output axes must be spatial",
+            ))
+        if ax.name in seen:
+            diags.append(error(
+                PASS_SHAPE_DTYPE, loc,
+                f"duplicate iteration variable {ax.name!r}",
+                "give every axis a unique name",
+            ))
+        seen.add(ax.name)
+    if isinstance(op.body, Reduce):
+        for ax in op.body.axes:
+            if ax.name in seen:
+                diags.append(error(
+                    PASS_SHAPE_DTYPE, loc,
+                    f"reduce axis {ax.name!r} shadows a spatial axis",
+                    "rename the reduce axis",
+                ))
+
+
+def _check_node_dtype(tensor: Tensor, te_name: str,
+                      diags: List[Diagnostic]) -> None:
+    op = tensor.op
+    assert op is not None
+    loc = Location("te", te_name)
+    declared = tensor.dtype
+    if declared not in DTYPE_BYTES:
+        diags.append(error(
+            PASS_SHAPE_DTYPE, loc, f"unknown declared dtype {declared!r}",
+            f"use one of {sorted(DTYPE_BYTES)}",
+        ))
+        return
+    body = op.body
+    top = body.body if isinstance(body, Reduce) else body
+    inferred = infer_dtype(body)
+    if inferred is None or inferred.weak:
+        # Unknown or scalar-only bodies adapt to the declaration.
+        return
+    explicit_cast = isinstance(top, Call) and top.func in _CAST_TARGET
+    if inferred.dtype == declared:
+        return
+    if explicit_cast:
+        diags.append(error(
+            PASS_SHAPE_DTYPE, loc,
+            f"declared dtype {declared} contradicts the explicit "
+            f"{top.func} producing {_CAST_TARGET[top.func]}",
+            f"declare the tensor as {_CAST_TARGET[top.func]} or drop "
+            f"the cast",
+        ))
+        return
+    if category_of(inferred.dtype) != category_of(declared):
+        if "bool" in (category_of(inferred.dtype), category_of(declared)):
+            diags.append(warning(
+                PASS_SHAPE_DTYPE, loc,
+                f"declared dtype {declared} but the body computes "
+                f"{inferred.dtype} (implicit boolean conversion)",
+                f"insert an explicit conversion to {declared}",
+            ))
+        else:
+            diags.append(error(
+                PASS_SHAPE_DTYPE, loc,
+                f"declared dtype {declared} but the body computes "
+                f"{inferred.dtype}",
+                f"declare the tensor as {inferred.dtype} or cast the body",
+            ))
+        return
+    diags.append(warning(
+        PASS_SHAPE_DTYPE, loc,
+        f"declared dtype {declared} narrows/widens the body's "
+        f"{inferred.dtype} without an explicit cast",
+        f"insert cast_fp16/cast_fp32 to make the precision change explicit",
+    ))
+
+
+def check_shape_dtype(program: ProgramLike) -> List[Diagnostic]:
+    """Run the shape/dtype pass over every TE of a program."""
+    view = as_view(program)
+    diags: List[Diagnostic] = []
+    for tensor in view.inputs:
+        if tensor.dtype not in DTYPE_BYTES:
+            diags.append(error(
+                PASS_SHAPE_DTYPE, Location("tensor", tensor.name),
+                f"unknown placeholder dtype {tensor.dtype!r}",
+                f"use one of {sorted(DTYPE_BYTES)}",
+            ))
+    for node in view.nodes:
+        tensor = node.tensor
+        if tensor.op is None:
+            continue
+        _check_node_shape(tensor, node.name, diags)
+        _check_node_dtype(tensor, node.name, diags)
+        _walk_reads(tensor.op.body, node.name, diags)
+    return diags

@@ -1,0 +1,158 @@
+"""Sync-safety pass: ``grid.sync()`` feasibility and ordering.
+
+A merged kernel that contains grid synchronisation relies on *all* of its
+blocks being co-resident: a block that is not scheduled can never arrive at
+the barrier, so launching more blocks than one wave
+(:meth:`~repro.gpu.device.GPUSpec.max_blocks_per_wave`) deadlocks the GPU
+(paper Sec. 5.4's occupancy constraint). This pass re-derives the wave
+bound from the kernel's own launch footprint and additionally checks the
+kernel's internal structure: a consumer TE must run in a stage no earlier
+than its in-kernel producer, and an atomic (two-phase) reduction's result
+may only be read after a sync point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.device import GPUSpec
+from repro.tir.build import BuiltKernel
+from repro.tir.stmt import ComputeStmt, GridSync, Predicate, Stmt
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    PASS_SYNC_SAFETY,
+    error,
+    warning,
+)
+from repro.verify.view import ProgramLike, as_view
+
+
+def _stage_map(stmts: Sequence[Stmt]) -> Dict[str, Dict[str, int]]:
+    """Map ``te_name -> stage`` and ``te_name -> atomic`` from a kernel body.
+
+    Stages are the regions between ``grid.sync()`` statements, counted from
+    zero; compute statements inside predicates belong to the enclosing
+    stage.
+    """
+    stages: Dict[str, int] = {}
+    atomics: Dict[str, int] = {}
+    level = 0
+
+    def scan(body: Sequence[Stmt]) -> None:
+        nonlocal level
+        for stmt in body:
+            if isinstance(stmt, GridSync):
+                level += 1
+            elif isinstance(stmt, Predicate):
+                scan(stmt.body)
+            elif isinstance(stmt, ComputeStmt):
+                stages[stmt.te_name] = level
+                atomics[stmt.te_name] = int(stmt.atomic)
+
+    scan(stmts)
+    return {"stage": stages, "atomic": atomics}
+
+
+def check_sync(
+    kernels: Sequence[BuiltKernel],
+    device: GPUSpec,
+    program: Optional[ProgramLike] = None,
+) -> List[Diagnostic]:
+    """Run the sync-safety pass over a module's built kernels."""
+    diags: List[Diagnostic] = []
+
+    producer_of: Dict[int, str] = {}
+    consumers_of: Dict[str, List[object]] = {}
+    node_by_name: Dict[str, object] = {}
+    if program is not None:
+        view = as_view(program)
+        for node in view.nodes:
+            producer_of[id(node.tensor)] = node.name
+            node_by_name[node.name] = node
+
+    for built in kernels:
+        spec = built.spec
+        loc = Location("kernel", spec.name)
+
+        structure = _stage_map(built.function.stmts)
+        stages, atomics = structure["stage"], structure["atomic"]
+        derived_syncs = max(stages.values(), default=0)
+
+        # ---- launch feasibility ----------------------------------------
+        if spec.grid_syncs > 0 or derived_syncs > 0:
+            wave = device.max_blocks_per_wave(
+                spec.threads_per_block,
+                spec.shared_mem_per_block,
+                spec.regs_per_thread,
+            )
+            if wave <= 0:
+                diags.append(error(
+                    PASS_SYNC_SAFETY, loc,
+                    f"kernel footprint ({spec.threads_per_block} threads, "
+                    f"{spec.shared_mem_per_block}B smem, "
+                    f"{spec.regs_per_thread} regs/thread) fits zero blocks "
+                    f"on {device.name}; grid.sync() can never complete",
+                    "shrink the per-block footprint",
+                ))
+            elif spec.grid_blocks > wave:
+                diags.append(error(
+                    PASS_SYNC_SAFETY, loc,
+                    f"kernel launches {spec.grid_blocks} blocks but only "
+                    f"{wave} can be co-resident per wave on {device.name}; "
+                    f"blocks beyond the wave never reach grid.sync() — "
+                    f"deadlock",
+                    f"cap the grid at {wave} persistent blocks and loop "
+                    f"over tiles inside each block",
+                ))
+
+        if spec.grid_syncs != derived_syncs:
+            diags.append(warning(
+                PASS_SYNC_SAFETY, loc,
+                f"kernel spec declares {spec.grid_syncs} grid sync(s) but "
+                f"the body contains {derived_syncs}",
+                "keep KernelSpec.grid_syncs consistent with the emitted "
+                "statements",
+            ))
+
+        # ---- cross-TE ordering inside the kernel -----------------------
+        if program is None:
+            continue
+        in_kernel = set(stages)
+        for te_name in spec.te_names:
+            if te_name not in stages:
+                diags.append(warning(
+                    PASS_SYNC_SAFETY, loc,
+                    f"TE {te_name} is listed in the kernel spec but has no "
+                    f"compute statement in the body",
+                ))
+        for te_name, stage in stages.items():
+            node = node_by_name.get(te_name)
+            if node is None:
+                continue
+            for operand in node.inputs:
+                producer = producer_of.get(id(operand))
+                if producer is None or producer not in in_kernel:
+                    continue
+                ploc = Location(
+                    "kernel", spec.name, f"{producer} -> {te_name}"
+                )
+                if stages[producer] > stage:
+                    diags.append(error(
+                        PASS_SYNC_SAFETY, ploc,
+                        f"TE {te_name} (stage {stage}) consumes "
+                        f"{producer} computed in a later stage "
+                        f"({stages[producer]})",
+                        "order stages so producers complete before "
+                        "consumers",
+                    ))
+                elif atomics.get(producer) and stages[producer] == stage:
+                    diags.append(error(
+                        PASS_SYNC_SAFETY, ploc,
+                        f"TE {te_name} reads the atomically-reduced "
+                        f"{producer} in the same stage; the global "
+                        f"accumulation is only complete after grid.sync()",
+                        "insert a grid sync between the atomic reduction "
+                        "and its consumer",
+                    ))
+    return diags

@@ -1,0 +1,74 @@
+"""A lenient view of a TE program for verification.
+
+:class:`~repro.graph.te_program.TEProgram` validates eagerly in its
+constructor (use-before-def, dangling reads, duplicate producers all raise
+:class:`~repro.errors.AnalysisError`), which is the right behaviour for the
+compiler pipeline but useless for a *verifier*: the whole point is to
+accept a possibly-broken program and report every defect as a structured
+diagnostic. :class:`ProgramView` is the unchecked counterpart the passes
+operate on — the same ``inputs`` / ``nodes`` / ``outputs`` triple with the
+validation deferred to the well-formedness pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.graph.te_program import TENode, TEProgram
+from repro.te.tensor import Tensor
+
+
+@dataclass
+class ProgramView:
+    """An unchecked ``inputs`` / ``nodes`` / ``outputs`` program triple."""
+
+    name: str
+    inputs: List[Tensor] = field(default_factory=list)
+    nodes: List[TENode] = field(default_factory=list)
+    outputs: List[Tensor] = field(default_factory=list)
+
+    @classmethod
+    def from_program(cls, program: TEProgram) -> "ProgramView":
+        return cls(
+            name=program.name,
+            inputs=list(program.inputs),
+            nodes=list(program.nodes),
+            outputs=list(program.outputs),
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        inputs: Sequence[Tensor],
+        tensors: Sequence[Tensor],
+        outputs: Sequence[Tensor],
+        name: str = "<view>",
+    ) -> "ProgramView":
+        """Build a view straight from tensors (mutation-test helper).
+
+        ``tensors`` are the compute tensors in intended execution order;
+        each is wrapped in a :class:`TENode` without any validation.
+        """
+        nodes = [
+            TENode(index=i, tensor=t, op_name=t.name, op_type="compute")
+            for i, t in enumerate(tensors)
+        ]
+        return cls(name=name, inputs=list(inputs), nodes=nodes,
+                   outputs=list(outputs))
+
+    def is_output(self, tensor: Tensor) -> bool:
+        return any(tensor is out for out in self.outputs)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+ProgramLike = Union[TEProgram, ProgramView]
+
+
+def as_view(program: ProgramLike) -> ProgramView:
+    """Coerce a checked program or a raw view into a :class:`ProgramView`."""
+    if isinstance(program, ProgramView):
+        return program
+    return ProgramView.from_program(program)

@@ -1,0 +1,156 @@
+"""Well-formedness pass: program-level structural invariants.
+
+Everything :class:`~repro.graph.te_program.TEProgram` enforces by raising in
+its constructor, re-stated as diagnostics over the lenient
+:class:`~repro.verify.view.ProgramView` — plus the liveness-adjacent checks
+the constructor does not do: dead TEs and never-read placeholders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.te.tensor import Tensor
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    PASS_WELLFORMED,
+    error,
+    warning,
+)
+from repro.verify.view import ProgramLike, as_view
+
+
+def check_wellformed(program: ProgramLike) -> List[Diagnostic]:
+    view = as_view(program)
+    diags: List[Diagnostic] = []
+    ploc = Location("program", view.name)
+
+    if not view.nodes:
+        diags.append(warning(
+            PASS_WELLFORMED, ploc, "program has no tensor expressions",
+        ))
+
+    # ---- placeholders and producers --------------------------------------
+    for tensor in view.inputs:
+        if tensor.op is not None:
+            diags.append(error(
+                PASS_WELLFORMED, Location("tensor", tensor.name),
+                "program input is not a placeholder (it has a compute op)",
+                "inputs must be placeholder tensors",
+            ))
+
+    produced_at: Dict[int, int] = {}
+    names_at: Dict[str, str] = {}
+    for tensor in view.inputs:
+        names_at.setdefault(tensor.name, "input")
+    for position, node in enumerate(view.nodes):
+        key = id(node.tensor)
+        if key in produced_at:
+            diags.append(error(
+                PASS_WELLFORMED, Location("te", node.name),
+                f"tensor {node.name} is produced twice "
+                f"(first at step {produced_at[key]}, again at step "
+                f"{position})",
+                "each tensor must have exactly one producing TE",
+            ))
+        else:
+            produced_at[key] = position
+        if node.tensor.op is None:
+            diags.append(error(
+                PASS_WELLFORMED, Location("te", node.name),
+                "TE node wraps a placeholder (no compute op)",
+                "only compute tensors may appear in the node list",
+            ))
+        owner = names_at.get(node.name)
+        if owner is not None:
+            diags.append(error(
+                PASS_WELLFORMED, Location("te", node.name),
+                f"duplicate tensor name {node.name!r} (already used by "
+                f"{owner})",
+                "tensor names must be unique; diagnostics, schedules and "
+                "caches key on them",
+            ))
+        else:
+            names_at[node.name] = f"te at step {position}"
+
+    # ---- reads: dangling / use-before-def --------------------------------
+    known: Set[int] = {id(t) for t in view.inputs}
+    defined: Set[int] = set(known)
+    all_known = set(known) | set(produced_at)
+    read_ids: Set[int] = set()
+    for position, node in enumerate(view.nodes):
+        for operand in node.inputs:
+            read_ids.add(id(operand))
+            if operand is node.tensor:
+                diags.append(error(
+                    PASS_WELLFORMED, Location("te", node.name),
+                    "TE reads its own output (self-cycle)",
+                    "break the cycle with an explicit extra tensor",
+                ))
+                continue
+            if id(operand) not in all_known:
+                diags.append(error(
+                    PASS_WELLFORMED, Location("te", node.name),
+                    f"reads dangling tensor {operand.name!r} (neither an "
+                    f"input nor produced by any TE)",
+                    "add the tensor to the program inputs or produce it "
+                    "with a TE",
+                ))
+            elif id(operand) not in defined:
+                where = produced_at.get(id(operand))
+                diags.append(error(
+                    PASS_WELLFORMED, Location("te", node.name),
+                    f"reads {operand.name!r} before it is produced "
+                    f"(consumer at step {position}, producer at step "
+                    f"{where}) — use-before-def or dependency cycle",
+                    "topologically order the TE program",
+                ))
+        defined.add(id(node.tensor))
+
+    # ---- outputs ---------------------------------------------------------
+    for out in view.outputs:
+        if id(out) in {id(t) for t in view.inputs}:
+            diags.append(warning(
+                PASS_WELLFORMED, Location("tensor", out.name),
+                "program output is a placeholder input (identity output)",
+            ))
+        elif id(out) not in produced_at:
+            diags.append(error(
+                PASS_WELLFORMED, Location("tensor", out.name),
+                "program output has no producer TE",
+                "every output must be produced by some TE",
+            ))
+
+    # ---- dead code -------------------------------------------------------
+    # Backwards reachability from the outputs over the producer relation.
+    producer_node = {id(n.tensor): n for n in view.nodes}
+    live: Set[int] = set()
+    stack = [id(t) for t in view.outputs]
+    while stack:
+        key = stack.pop()
+        if key in live:
+            continue
+        live.add(key)
+        node = producer_node.get(key)
+        if node is None:
+            continue
+        stack.extend(id(t) for t in node.inputs)
+
+    for node in view.nodes:
+        if id(node.tensor) not in live:
+            diags.append(warning(
+                PASS_WELLFORMED, Location("te", node.name),
+                "dead TE: not reachable from any program output",
+                "remove it or add its tensor to the outputs",
+            ))
+
+    for tensor in view.inputs:
+        if id(tensor) not in read_ids and not view.is_output(tensor):
+            diags.append(warning(
+                PASS_WELLFORMED, Location("tensor", tensor.name),
+                "placeholder is never read by any TE",
+                "drop the unused input",
+            ))
+
+    return diags

@@ -1,0 +1,84 @@
+"""Property-based tests: the TE transformations never introduce verifier
+errors — a verifier-clean program stays clean through horizontal and
+vertical transformation (hypothesis drives the same program generator shape
+as the semantics properties)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, lower_graph
+from repro.transform import horizontal_transform, vertical_transform
+from repro.verify import verify_program
+
+UNARY_OPS = ("relu", "sigmoid", "tanh", "exp")
+
+
+@st.composite
+def random_graphs(draw):
+    """A random DAG of elementwise / memory / matmul / reduce operators over
+    small 2-D tensors."""
+    builder = GraphBuilder("verifyprop")
+    rows = draw(st.sampled_from([2, 3, 4]))
+    cols = draw(st.sampled_from([4, 6, 8]))
+    frontier = [builder.input((rows, cols), name="x0")]
+    num_ops = draw(st.integers(2, 8))
+    for index in range(num_ops):
+        source = frontier[draw(st.integers(0, len(frontier) - 1))]
+        choice = draw(st.integers(0, 5))
+        if choice <= 1:
+            op = draw(st.sampled_from(UNARY_OPS))
+            node = getattr(builder, op)(source)
+        elif choice == 2:
+            node = builder.transpose(
+                source, tuple(reversed(range(len(source.shape))))
+            )
+        elif choice == 3:
+            total = 1
+            for extent in source.shape:
+                total *= extent
+            node = builder.reshape(source, (total,))
+        elif choice == 4 and len(source.shape) == 2:
+            k = source.shape[1]
+            w = builder.weight((k, draw(st.sampled_from([4, 6]))),
+                               name=f"w{index}")
+            node = builder.matmul(source, w)
+        else:
+            axes = (len(source.shape) - 1,)
+            node = builder.reduce_sum(source, axes, keepdims=True)
+        frontier.append(node)
+    outputs = [frontier[-1]]
+    if draw(st.booleans()) and len(frontier) > 2:
+        outputs.append(frontier[-2])
+    return builder.build(outputs)
+
+
+def assert_clean(program, stage):
+    report = verify_program(program)
+    assert report.clean, f"{stage} introduced errors:\n" + report.render()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs())
+def test_horizontal_never_introduces_errors(graph):
+    program = lower_graph(graph)
+    assert_clean(program, "lowering")
+    transformed, _ = horizontal_transform(program)
+    assert_clean(transformed, "horizontal_transform")
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs())
+def test_vertical_never_introduces_errors(graph):
+    program = lower_graph(graph)
+    assert_clean(program, "lowering")
+    transformed, _ = vertical_transform(program)
+    assert_clean(transformed, "vertical_transform")
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graphs())
+def test_composed_transforms_never_introduce_errors(graph):
+    program = lower_graph(graph)
+    h, _ = horizontal_transform(program)
+    v, _ = vertical_transform(h)
+    assert_clean(v, "horizontal+vertical")

@@ -1,0 +1,115 @@
+"""Diagnostic rendering, report aggregation and ``repro lint`` exit codes."""
+
+import pytest
+
+import repro.verify
+from repro.cli import main
+from repro.verify import (
+    Diagnostic,
+    Location,
+    PASS_BOUNDS,
+    PASS_SYNC_SAFETY,
+    Severity,
+    VerifyReport,
+)
+from repro.verify.diagnostics import error, info, warning
+
+
+def sample_error():
+    return error(
+        PASS_BOUNDS,
+        Location("te", "softmax_exp", "read scores[...] axis 1"),
+        "read out of bounds: index spans [0, 64] but extent is 64",
+        "clamp with min/max",
+    )
+
+
+class TestRendering:
+    def test_diagnostic_format(self):
+        text = sample_error().render()
+        assert text.startswith(
+            "error[bounds] te softmax_exp (read scores[...] axis 1): "
+        )
+        assert "read out of bounds" in text
+        assert "hint: clamp with min/max" in text
+
+    def test_diagnostic_without_suggestion_has_no_hint(self):
+        d = warning(PASS_SYNC_SAFETY, Location("kernel", "k0"), "message")
+        assert "hint:" not in d.render()
+
+    def test_report_orders_errors_first_and_summarises(self):
+        report = VerifyReport(subject="unit")
+        report.add(warning(PASS_SYNC_SAFETY, Location("kernel", "k0"), "w"))
+        report.add(sample_error())
+        text = report.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("error[")
+        assert text.rstrip().endswith(
+            "unit: 1 error(s), 1 warning(s) [passes: ]"
+            .replace(" [passes: ]", " [passes: none]")
+        )
+
+    def test_min_severity_filters_infos(self):
+        report = VerifyReport(subject="unit")
+        report.add(info(PASS_BOUNDS, Location("te", "t"), "fyi"))
+        assert "fyi" not in report.render()
+        assert "fyi" in report.render(min_severity=Severity.INFO)
+
+
+class TestExitCodes:
+    def test_clean_report_exits_zero(self):
+        assert VerifyReport().exit_code() == 0
+        assert VerifyReport().exit_code(strict=True) == 0
+
+    def test_errors_exit_one(self):
+        report = VerifyReport()
+        report.add(sample_error())
+        assert report.exit_code() == 1
+
+    def test_warnings_only_exit_zero_unless_strict(self):
+        report = VerifyReport()
+        report.add(warning(PASS_BOUNDS, Location("te", "t"), "w"))
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_by_pass_groups(self):
+        report = VerifyReport()
+        report.add(sample_error())
+        report.add(warning(PASS_SYNC_SAFETY, Location("kernel", "k"), "w"))
+        grouped = report.by_pass()
+        assert set(grouped) == {PASS_BOUNDS, PASS_SYNC_SAFETY}
+
+
+class TestLintCli:
+    def test_lint_clean_model_exits_zero(self, capsys):
+        assert main(["lint", "mmoe"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "sync-safety" in out  # all five passes ran
+        assert "arena-hazard" in out
+
+    def test_lint_errors_exit_one(self, capsys, monkeypatch):
+        def fake_verify_module(module):
+            report = VerifyReport(subject=module.name)
+            report.add(sample_error())
+            return report
+
+        monkeypatch.setattr(
+            repro.verify, "verify_module", fake_verify_module
+        )
+        assert main(["lint", "mmoe"]) == 1
+        assert "error[bounds]" in capsys.readouterr().out
+
+    def test_lint_strict_promotes_warnings(self, capsys, monkeypatch):
+        def fake_verify_module(module):
+            report = VerifyReport(subject=module.name)
+            report.add(
+                warning(PASS_SYNC_SAFETY, Location("kernel", "k"), "w")
+            )
+            return report
+
+        monkeypatch.setattr(
+            repro.verify, "verify_module", fake_verify_module
+        )
+        assert main(["lint", "mmoe"]) == 0
+        assert main(["lint", "mmoe", "--strict"]) == 1
