@@ -126,3 +126,96 @@ def test_serve_throughput(programs):
             f"{name}: plan replay only {speedups[name]:.2f}x faster than "
             f"the interpretive evaluator (floor {FLOOR_SPEEDUP}x)"
         )
+
+
+# ---- dynamic micro-batching -------------------------------------------------
+#
+# The batched acceptance floor: replaying one BatchedExecutionPlan over 8
+# concurrent requests must be >= BATCH_FLOOR_SPEEDUP times faster than 8
+# sequential single-request replays, on BERT and MMoE. Requests share their
+# weight arrays (as serving traffic does), which the batched binder turns
+# into zero-copy broadcast lanes.
+
+BATCH_FLOOR_SPEEDUP = 3.0
+BATCH_SIZE = 8
+BATCH_ROUNDS = 8  # timed batches per measurement (BATCH_ROUNDS * 8 requests)
+
+
+def _batch_requests(program, count, seed):
+    """Per-request feeds: shared weight objects, fresh leading input."""
+    base = random_feeds(program, seed=seed)
+    lead = program.inputs[0]
+    rng = np.random.default_rng(seed + 1)
+    requests = []
+    for _ in range(count):
+        feeds = dict(base)
+        feeds[lead] = rng.standard_normal(lead.shape)
+        requests.append(feeds)
+    return requests
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_NAMES))
+def test_batched_outputs_bit_identical(programs, name):
+    """Differential guarantee across every paper model: each lane of a
+    batched replay equals its own unbatched replay, to the last bit."""
+    program = programs[name]
+    session = InferenceSession(program)
+    requests = _batch_requests(program, 11, seed=23)  # pads + chunks
+    singles = [session.run(feeds) for feeds in requests]
+    for want, got in zip(singles, session.run_batch(requests)):
+        for a, b in zip(want, got):
+            assert np.array_equal(a, b), name
+
+
+def test_batched_serve_throughput(programs):
+    """Batched replay beats sequential single-request replay >= 3x at
+    batch 8 on BERT and MMoE."""
+    rows = [
+        f"{'model':14s} {'single ms/req':>14s} {'batch ms/req':>13s} "
+        f"{'speedup':>8s} {'batch req/s':>12s}"
+    ]
+    speedups = {}
+    for name in MODEL_NAMES:
+        program = programs[name]
+        session = InferenceSession(program, batch_buckets=(2, 4, BATCH_SIZE))
+        batches = [
+            _batch_requests(program, BATCH_SIZE, seed=31 + i)
+            for i in range(BATCH_ROUNDS)
+        ]
+        total = BATCH_ROUNDS * BATCH_SIZE
+        # Warm both paths: plan + batched plan + arenas + numpy caches.
+        session.run(batches[0][0])
+        session.run_batch(batches[0])
+
+        def run_singles():
+            for batch in batches:
+                for feeds in batch:
+                    session.run(feeds)
+
+        def run_batched():
+            for batch in batches:
+                session.run_batch(batch)
+
+        single_s = _time_loop(run_singles, calls=1)
+        batch_s = _time_loop(run_batched, calls=1)
+        speedup = single_s / batch_s
+        speedups[name] = speedup
+        rows.append(
+            f"{name:14s} {single_s / total * 1e3:14.3f} "
+            f"{batch_s / total * 1e3:13.3f} {speedup:8.2f} "
+            f"{total / batch_s:12.1f}"
+        )
+
+    rows.append("")
+    rows.append(
+        f"floor: batched replay >= {BATCH_FLOOR_SPEEDUP:.1f}x vs sequential "
+        f"singles on {', '.join(FLOOR_MODELS)} "
+        f"(batch {BATCH_SIZE}, {BATCH_ROUNDS} rounds, best of {BEST_OF})"
+    )
+    save_table("serve_throughput_batched", "\n".join(rows))
+
+    for name in FLOOR_MODELS:
+        assert speedups[name] >= BATCH_FLOOR_SPEEDUP, (
+            f"{name}: batched replay only {speedups[name]:.2f}x faster than "
+            f"sequential singles (floor {BATCH_FLOOR_SPEEDUP}x)"
+        )

@@ -85,6 +85,40 @@ def main() -> None:
     for line in session.profile_report().render(top=5).splitlines()[1:]:
         print("  " + line)
 
+    # ---- dynamic micro-batching ----------------------------------------------
+    print("\ndynamic micro-batching (tiny BERT, 8 client threads):")
+    import threading
+
+    lead = program.inputs[0]
+    base = dict(feeds)
+
+    def request_feeds():
+        varied = dict(base)
+        varied[lead.name] = rng.standard_normal(lead.shape) * 0.1
+        return varied
+
+    batch_session = InferenceSession(program)
+    with batch_session.serve(max_batch_size=8, max_queue_delay_ms=2.0) as server:
+
+        def client():
+            for _ in range(16):
+                server.run(request_feeds(), timeout=60)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+    print(
+        f"  {server.requests_completed} requests in {wall:.3f}s "
+        f"({server.requests_completed / wall:.0f} req/s), "
+        f"mean batch {server.mean_batch_size:.1f}"
+    )
+    for line in server.profile_report().render().splitlines()[:2]:
+        print("  " + line)
+
     # ---- memory planning -----------------------------------------------------
     print("\nworkspace planning for BERT-base (2 layers shown):")
     program = lower_graph(build_bert(layers=2))

@@ -176,7 +176,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     module = _compiler_from_args(args).compile(graph)
     program = module.program
     feeds = random_feeds(program, seed=args.seed)
-    session = InferenceSession(program, name=graph.name, profile=True)
+    buckets = {2, 4, 8}
+    if args.batch > 1:
+        buckets.add(args.batch)
+    session = InferenceSession(
+        program, name=graph.name, profile=True,
+        batch_buckets=tuple(sorted(buckets)),
+    )
 
     # Warm both paths once (plan construction, numpy caches).
     plan_out = session.run(feeds)
@@ -204,8 +210,83 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
           f"{interp_seconds / args.calls * 1e3:10.3f}")
     print(f"{'plan replay':14s} {plan_rps:10.1f} "
           f"{plan_seconds / args.calls * 1e3:10.3f}")
-    print(f"speedup: {interp_seconds / plan_seconds:.2f}x\n")
-    print(session.profile_report().render(top=args.top))
+    print(f"speedup: {interp_seconds / plan_seconds:.2f}x")
+
+    if args.batch > 1:
+        # Per-request feeds share the weight arrays (bound once, broadcast
+        # across lanes) and vary the leading input, like real traffic.
+        rng = np.random.default_rng(args.seed + 1)
+        lead = program.inputs[0]
+        requests = []
+        for _ in range(args.calls):
+            request = dict(feeds)
+            request[lead] = feeds[lead] + rng.standard_normal(lead.shape) * 0.01
+            requests.append(request)
+        singles = [session.run(request) for request in requests]
+        start = time.perf_counter()
+        for request in requests:
+            session.run(request)
+        single_seconds = time.perf_counter() - start
+        chunks = [requests[i:i + args.batch]
+                  for i in range(0, len(requests), args.batch)]
+        batched = [outs for chunk in chunks for outs in session.run_batch(chunk)]
+        exact_batch = all(
+            np.array_equal(got, want)
+            for outs, ref in zip(batched, singles)
+            for got, want in zip(outs, ref)
+        )
+        start = time.perf_counter()
+        for chunk in chunks:
+            session.run_batch(chunk)
+        batch_seconds = time.perf_counter() - start
+        print(
+            f"\nbatched replay (batch {args.batch}): "
+            f"{args.calls / batch_seconds:.1f} req/s, "
+            f"{batch_seconds / args.calls * 1e3:.3f} ms/req, "
+            f"{single_seconds / batch_seconds:.2f}x vs single requests, "
+            f"bit-identical: {exact_batch}"
+        )
+        exact = exact and exact_batch
+
+    if args.concurrency > 0:
+        import threading
+
+        server = session.serve(
+            max_batch_size=args.batch if args.batch > 1 else 8,
+            max_queue_delay_ms=2.0,
+        )
+        per_worker = max(1, args.calls // args.concurrency)
+        failures = []
+
+        def client() -> None:
+            try:
+                for _ in range(per_worker):
+                    server.run(feeds, timeout=120)
+            except Exception as exc:  # noqa: BLE001 — reported below
+                failures.append(exc)
+
+        workers = [threading.Thread(target=client)
+                   for _ in range(args.concurrency)]
+        start = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        served_seconds = time.perf_counter() - start
+        server.stop()
+        if failures:
+            raise SystemExit(f"batching server request failed: {failures[0]}")
+        total = per_worker * args.concurrency
+        print(
+            f"\nbatching server ({args.concurrency} client threads): "
+            f"{total / served_seconds:.1f} req/s, "
+            f"mean batch {server.mean_batch_size:.2f}"
+        )
+        report = server.profile_report()
+    else:
+        report = session.profile_report()
+    print()
+    print(report.render(top=args.top))
     return 0 if exact else 1
 
 
@@ -297,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random-feed seed (default 0)")
     p.add_argument("--top", type=int, default=12,
                    help="slowest plan steps to print")
+    p.add_argument("--batch", type=int, default=0,
+                   help="also time batched plan replay at this batch size "
+                        "(0 = off)")
+    p.add_argument("--concurrency", type=int, default=0,
+                   help="drive a dynamic-batching server with this many "
+                        "client threads (0 = off)")
     p.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser(

@@ -1,10 +1,17 @@
 """Runtime: compiled modules, plan-based execution, serving and profiling."""
 
+from repro.runtime.batching import BatchingServer
 from repro.runtime.dispatch import DispatchRecord, ShapeDispatcher
-from repro.runtime.executor import Arena, ExecutionPlan, PlanStep
+from repro.runtime.executor import (
+    Arena,
+    BatchedExecutionPlan,
+    ExecutionPlan,
+    PlanStep,
+)
 from repro.runtime.memory_planner import MemoryPlan, plan_memory
 from repro.runtime.module import CompiledModule, CompileStats, PhaseTimer
 from repro.runtime.profiler import (
+    BatchStats,
     ExecutionProfile,
     KernelProfile,
     ProfileReport,
@@ -15,6 +22,9 @@ from repro.runtime.session import InferenceSession
 
 __all__ = [
     "Arena",
+    "BatchStats",
+    "BatchedExecutionPlan",
+    "BatchingServer",
     "CompileStats",
     "CompiledModule",
     "DispatchRecord",

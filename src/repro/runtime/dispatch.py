@@ -95,8 +95,8 @@ class ShapeDispatcher:
             )
         return self.buckets[index]
 
-    def run(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
-        """Execute with runtime shapes, padding to the chosen bucket."""
+    def _resolve_size(self, feeds: Mapping[str, np.ndarray]) -> int:
+        """The request's size along the dynamic axis (validated)."""
         sizes = {
             name: np.asarray(feeds[name]).shape[self.dynamic_axis]
             for name in self.dynamic_inputs
@@ -110,11 +110,11 @@ class ShapeDispatcher:
             raise ExecutionError(
                 f"dynamic inputs disagree on the dynamic axis: {sizes}"
             )
-        size = next(iter(sizes.values()))
-        bucket = self.select_bucket(size)
-        module = self.module_for(bucket)
-        self.history.append(DispatchRecord(size, bucket, bucket != size))
+        return next(iter(sizes.values()))
 
+    def _pad_feeds(
+        self, feeds: Mapping[str, np.ndarray], size: int, bucket: int
+    ) -> Dict[str, np.ndarray]:
         padded: Dict[str, np.ndarray] = {}
         for name, value in feeds.items():
             array = np.asarray(value)
@@ -123,10 +123,13 @@ class ShapeDispatcher:
                 pad_width[self.dynamic_axis] = (0, bucket - size)
                 array = np.pad(array, pad_width)
             padded[name] = array
+        return padded
 
-        outputs = module.run_by_name(padded)
+    def _slice_outputs(
+        self, outputs: Sequence[np.ndarray], size: int, bucket: int
+    ) -> List[np.ndarray]:
         sliced: List[np.ndarray] = []
-        for out_tensor, value in zip(module.program.outputs, outputs):
+        for value in outputs:
             if (
                 self.dynamic_axis < value.ndim
                 and value.shape[self.dynamic_axis] == bucket
@@ -137,6 +140,50 @@ class ShapeDispatcher:
                 value = value[tuple(slicer)]
             sliced.append(value)
         return sliced
+
+    def run(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
+        """Execute with runtime shapes, padding to the chosen bucket."""
+        size = self._resolve_size(feeds)
+        bucket = self.select_bucket(size)
+        module = self.module_for(bucket)
+        self.history.append(DispatchRecord(size, bucket, bucket != size))
+        outputs = module.run_by_name(self._pad_feeds(feeds, size, bucket))
+        return self._slice_outputs(outputs, size, bucket)
+
+    def run_batch(
+        self, feeds_list: Sequence[Mapping[str, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Batch-execute concurrent requests, grouped by shape bucket.
+
+        Each request independently selects its shape bucket (as :meth:`run`
+        would); requests landing in the same bucket then replay that
+        bucket's module through one batched execution plan. Results come
+        back in submission order and are bit-identical to per-request
+        :meth:`run` calls.
+        """
+        if not feeds_list:
+            return []
+        sizes = [self._resolve_size(feeds) for feeds in feeds_list]
+        chosen = [self.select_bucket(size) for size in sizes]
+        groups: Dict[int, List[int]] = {}
+        for position, bucket in enumerate(chosen):
+            groups.setdefault(bucket, []).append(position)
+
+        results: List[Optional[List[np.ndarray]]] = [None] * len(feeds_list)
+        for bucket in sorted(groups):
+            members = groups[bucket]
+            module = self.module_for(bucket)
+            padded = [
+                self._pad_feeds(feeds_list[pos], sizes[pos], bucket)
+                for pos in members
+            ]
+            for pos in members:
+                self.history.append(
+                    DispatchRecord(sizes[pos], bucket, bucket != sizes[pos])
+                )
+            for pos, outputs in zip(members, module.run_batch_by_name(padded)):
+                results[pos] = self._slice_outputs(outputs, sizes[pos], bucket)
+        return results  # type: ignore[return-value]
 
     @property
     def compiled_buckets(self) -> List[int]:

@@ -25,6 +25,16 @@ Executing a request is then a flat loop over the steps. Results are
 bit-identical to the :class:`Evaluator` (which remains the differential-
 testing oracle): both paths run the same numpy kernels in the same order on
 the same float64 operands.
+
+:class:`BatchedExecutionPlan` extends the same lowering with a leading
+batch axis so B concurrent requests replay the step list *once*: einsum
+contractions gain an ellipsis batch dimension (contraction path precomputed
+for the batched shapes), elementwise/gather closures broadcast their
+plan-time index grids over the batch, and the arena is sized for B lanes
+per intermediate. Lane ``i`` of a batched replay is bit-identical to an
+unbatched replay of request ``i`` — numpy's einsum and ufunc loops are
+batch-independent per output element — which the differential tests pin
+down across every paper model.
 """
 
 from __future__ import annotations
@@ -49,7 +59,7 @@ from repro.te.expr import (
     TensorRead,
     Var,
 )
-from repro.te.patterns import match_matmul
+from repro.te.patterns import contraction_path, match_matmul
 from repro.te.tensor import Tensor
 
 # The executor computes in float64 (like the Evaluator); arena buffers are
@@ -92,20 +102,35 @@ class Arena:
     Built once from the memory plan; every intermediate's view aliases its
     planned ``[offset, offset+nbytes)`` slice, so tensors with disjoint live
     ranges transparently share bytes across steps and across requests.
+
+    With ``batch_size`` set the arena carries that many lanes per
+    intermediate — every view gains a leading batch axis and the memory
+    plan's offsets must have been computed with the matching batch-aware
+    sizer (``BatchedExecutionPlan`` does both).
     """
 
-    __slots__ = ("buffer", "views", "nbytes")
+    __slots__ = ("buffer", "views", "nbytes", "batch_size")
 
-    def __init__(self, plan: MemoryPlan) -> None:
+    def __init__(
+        self, plan: MemoryPlan, batch_size: Optional[int] = None
+    ) -> None:
         self.nbytes = plan.workspace_bytes
+        self.batch_size = batch_size
+        lanes = 1 if batch_size is None else batch_size
         self.buffer = np.empty(plan.workspace_bytes, dtype=np.uint8)
         self.views: Values = {}
         for tensor, assignment in plan.assignments.items():
-            end = assignment.offset + tensor.num_elements * EXEC_ITEMSIZE
+            shape = tensor.shape
+            if batch_size is not None:
+                shape = (batch_size,) + tuple(shape)
+            end = (
+                assignment.offset
+                + lanes * tensor.num_elements * EXEC_ITEMSIZE
+            )
             self.views[id(tensor)] = (
                 self.buffer[assignment.offset:end]
                 .view(EXEC_DTYPE)
-                .reshape(tensor.shape)
+                .reshape(shape)
             )
 
 
@@ -122,13 +147,20 @@ def _grid_env(axes: Sequence[IterVar]) -> Dict[str, np.ndarray]:
 
 
 def _compile_expr(
-    expr: Expr, env: Mapping[str, np.ndarray], axes: Sequence[IterVar]
+    expr: Expr,
+    env: Mapping[str, np.ndarray],
+    axes: Sequence[IterVar],
+    batched: bool = False,
 ) -> _Compiled:
     """Compile one expression bottom-up.
 
     Returns ``(const, None)`` when the subtree reads no tensor data — the
     value is computed right here, at plan time — or ``(None, fn)`` where
     ``fn(values)`` produces the (broadcastable) grid at request time.
+
+    With ``batched`` every tensor value in ``values`` carries a leading
+    batch axis; plan-time constants stay unbatched (they broadcast against
+    the batch like any leading axis) and only tensor reads change shape.
     """
     if isinstance(expr, Const):
         return np.asarray(expr.value, dtype=EXEC_DTYPE), None
@@ -140,8 +172,8 @@ def _compile_expr(
     if isinstance(expr, (BinOp, Cmp)):
         table = _BINOP_FN if isinstance(expr, BinOp) else _CMP_FN
         fn = table[expr.op]
-        lc, lf = _compile_expr(expr.lhs, env, axes)
-        rc, rf = _compile_expr(expr.rhs, env, axes)
+        lc, lf = _compile_expr(expr.lhs, env, axes, batched)
+        rc, rf = _compile_expr(expr.rhs, env, axes, batched)
         if lf is None and rf is None:
             return fn(lc, rc), None
         if lf is None:
@@ -151,7 +183,7 @@ def _compile_expr(
         return None, lambda v, fn=fn, lf=lf, rf=rf: fn(lf(v), rf(v))
     if isinstance(expr, Call):
         fn = _CALL_FN[expr.func]
-        parts = [_compile_expr(a, env, axes) for a in expr.args]
+        parts = [_compile_expr(a, env, axes, batched) for a in expr.args]
         if all(f is None for _, f in parts):
             return fn(*[c for c, _ in parts]), None
         if len(parts) == 1:
@@ -163,7 +195,7 @@ def _compile_expr(
         return None, lambda v, fn=fn, thunks=thunks: fn(*[t(v) for t in thunks])
     if isinstance(expr, IfThenElse):
         parts = [
-            _compile_expr(e, env, axes)
+            _compile_expr(e, env, axes, batched)
             for e in (expr.cond, expr.then_value, expr.else_value)
         ]
         if all(f is None for _, f in parts):
@@ -176,7 +208,7 @@ def _compile_expr(
             thunks[0](v), thunks[1](v), thunks[2](v)
         )
     if isinstance(expr, TensorRead):
-        return _compile_read(expr, env, axes)
+        return _compile_read(expr, env, axes, batched)
     if isinstance(expr, Reduce):
         # Nested reductions are normalised away during lowering; only a
         # top-level Reduce exists and the step builder peels it off.
@@ -185,7 +217,10 @@ def _compile_expr(
 
 
 def _compile_read(
-    read: TensorRead, env: Mapping[str, np.ndarray], axes: Sequence[IterVar]
+    read: TensorRead,
+    env: Mapping[str, np.ndarray],
+    axes: Sequence[IterVar],
+    batched: bool = False,
 ) -> _Compiled:
     """Resolve a tensor read to a view or a precomputed gather map.
 
@@ -193,6 +228,12 @@ def _compile_read(
     the integer index grids are fully materialised at plan time. The common
     identity pattern ``T[i, j, ...]`` (every node axis, in order, sweeping
     the full tensor) short-circuits to the bare array — no copy at all.
+
+    In batched mode the stored value has shape ``(B,) + tensor.shape``; the
+    precomputed index grids address the trailing (request) dimensions while
+    a leading slice carries every batch lane through the same gather. The
+    gathered block is reshaped so its request dims stay trailing-aligned
+    with the unbatched broadcast semantics.
     """
     key = id(read.tensor)
     base_shape = tuple(getattr(read.tensor, "shape", ()))
@@ -207,8 +248,17 @@ def _compile_read(
     ):
         return None, lambda v, key=key: v[key]
 
-    parts = [_compile_expr(i, env, axes) for i in read.indices]
+    parts = [_compile_expr(i, env, axes, batched) for i in read.indices]
     if any(f is not None for _, f in parts):
+        if batched:
+            # A data-dependent index would differ per batch lane, breaking
+            # the shared precomputed gather. It does not occur in this IR;
+            # batched planning refuses it so the server can fall back to
+            # the unbatched path instead of silently mis-gathering.
+            raise PlanningError(
+                f"read of {read.tensor.name} uses data-dependent indexing, "
+                "which batched execution plans do not support"
+            )
         # Data-dependent indexing does not occur in this IR, but compile it
         # anyway so the executor degrades gracefully rather than crashing.
         thunks = tuple(
@@ -227,14 +277,34 @@ def _compile_read(
     if len(indices) > 1:
         indices = list(np.broadcast_arrays(*indices))
     idx = tuple(indices)
-    return None, lambda v, key=key, idx=idx: v[key][idx]
+    if not batched:
+        return None, lambda v, key=key, idx=idx: v[key][idx]
+
+    # Unbatched gathers produce the broadcast shape of the index grids and
+    # rely on trailing alignment against the axis grids; the batched result
+    # must keep those dims trailing, padding with ones in between when the
+    # grids collapse below the full axis rank (e.g. all-constant indices).
+    grid_shape = np.broadcast_shapes(*[i.shape for i in indices])
+    pad = (1,) * (len(axes) - len(grid_shape))
+
+    def gather_batched(v: Values, key=key, idx=idx, pad=pad) -> np.ndarray:
+        out = v[key][(slice(None),) + idx]
+        if pad:
+            out = out.reshape(out.shape[:1] + pad + out.shape[1:])
+        return out
+
+    return None, gather_batched
 
 
 class ExecutionPlan:
     """A TE program lowered to a flat, replayable step list + arena layout."""
 
     # Total plans built in this process (lets tests assert plan reuse).
+    # Batched plans count here too — the counter lives on this class.
     plans_built = 0
+
+    # One request per replay; BatchedExecutionPlan overrides per instance.
+    batch_size: Optional[int] = None
 
     def __init__(
         self,
@@ -244,9 +314,7 @@ class ExecutionPlan:
         self.program = program
         if memory_plan is None:
             memory_plan = plan_memory(
-                program,
-                sizer=lambda t: t.num_elements * EXEC_ITEMSIZE,
-                exclusive_writes=True,
+                program, sizer=self._sizer, exclusive_writes=True
             )
         self.memory_plan = memory_plan
         self._inputs_by_id: Dict[int, Tensor] = {
@@ -257,13 +325,23 @@ class ExecutionPlan:
             self._build_step(i, node) for i, node in enumerate(program.nodes)
         ]
         self._output_allocs: List[Tuple[int, Tuple[int, ...]]] = [
-            (id(t), t.shape) for t in program.outputs
+            (id(t), self._batched_shape(t.shape)) for t in program.outputs
         ]
         self._output_keys: List[int] = [id(t) for t in program.outputs]
         self._validate_layout()
-        type(self).plans_built += 1
+        ExecutionPlan.plans_built += 1
 
     # ---- construction ----------------------------------------------------
+
+    def _sizer(self, tensor: Tensor) -> int:
+        """Arena bytes for one intermediate (every batch lane included)."""
+        lanes = 1 if self.batch_size is None else self.batch_size
+        return lanes * tensor.num_elements * EXEC_ITEMSIZE
+
+    def _batched_shape(self, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if self.batch_size is None:
+            return tuple(shape)
+        return (self.batch_size,) + tuple(shape)
 
     def _build_step(self, index: int, node) -> PlanStep:
         tensor: Tensor = node.tensor
@@ -271,14 +349,27 @@ class ExecutionPlan:
         op = tensor.op
         assert op is not None
         self._note_reads(op.body)
+        batched = self.batch_size is not None
 
         pattern = match_matmul(tensor)
         if pattern is not None:
             lk, rk = id(pattern.lhs), id(pattern.rhs)
             formula = pattern.einsum_formula
+            lhs_shape = tuple(pattern.lhs.shape)
+            rhs_shape = tuple(pattern.rhs.shape)
+            if batched:
+                formula = (
+                    f"...{pattern.lhs_spec},...{pattern.rhs_spec}"
+                    f"->...{pattern.out_spec}"
+                )
+                lhs_shape = self._batched_shape(lhs_shape)
+                rhs_shape = self._batched_shape(rhs_shape)
+            path = contraction_path(formula, lhs_shape, rhs_shape)
 
-            def run_einsum(v: Values, formula=formula, lk=lk, rk=rk, key=key):
-                np.einsum(formula, v[lk], v[rk], out=v[key])
+            def run_einsum(
+                v: Values, formula=formula, lk=lk, rk=rk, key=key, path=path
+            ):
+                np.einsum(formula, v[lk], v[rk], out=v[key], optimize=path)
 
             return PlanStep(index, tensor.name, "einsum", key, run_einsum)
 
@@ -292,7 +383,7 @@ class ExecutionPlan:
             body = body.body
 
         all_axes = spatial + reduce_axes
-        total = 1
+        total = 1 if self.batch_size is None else self.batch_size
         for ax in all_axes:
             total *= ax.extent
         if total > MAX_GRID_ELEMENTS:
@@ -303,11 +394,12 @@ class ExecutionPlan:
             )
 
         env = _grid_env(all_axes)
-        const, fn = _compile_expr(body, env, all_axes)
+        const, fn = _compile_expr(body, env, all_axes, batched)
 
         if reduce_kind is None:
             if fn is None:
                 # Fully data-independent body: the result never changes.
+                # (The arena view broadcasts the fold over any batch axis.)
                 folded = np.broadcast_to(const, tensor.shape)
 
                 def run_const(v: Values, key=key, folded=folded):
@@ -320,8 +412,11 @@ class ExecutionPlan:
 
             return PlanStep(index, tensor.name, "map", key, run_map)
 
-        full_shape = tuple(ax.extent for ax in all_axes)
-        reduce_dims = tuple(range(len(spatial), len(all_axes)))
+        full_shape = self._batched_shape(tuple(ax.extent for ax in all_axes))
+        offset = 0 if self.batch_size is None else 1
+        reduce_dims = tuple(
+            offset + d for d in range(len(spatial), len(all_axes))
+        )
         red_fn = {"sum": np.sum, "max": np.max, "min": np.min}[reduce_kind]
 
         if fn is None:
@@ -382,7 +477,7 @@ class ExecutionPlan:
         report = verify_plan(
             self.program,
             self.memory_plan,
-            sizer=lambda t: t.num_elements * EXEC_ITEMSIZE,
+            sizer=self._sizer,
             require_exclusive_writes=True,
         )
         if report.has_errors:
@@ -403,19 +498,29 @@ class ExecutionPlan:
 
     def new_arena(self) -> Arena:
         """Allocate one workspace for this plan (reused across requests)."""
-        return Arena(self.memory_plan)
+        return Arena(self.memory_plan, batch_size=self.batch_size)
+
+    def _bind_one(self, tensor: Tensor, value: np.ndarray) -> np.ndarray:
+        """Convert one feed to the execution dtype, validating its shape.
+
+        C-contiguous canonical layout: einsum's accumulation order (and so
+        its low-order bits) depends on operand strides once contraction
+        paths are in play, and arenas/evaluator feeds are contiguous too.
+        """
+        arr = np.ascontiguousarray(value, dtype=EXEC_DTYPE)
+        if arr.shape != tensor.shape:
+            raise ExecutionError(
+                f"feed for {tensor.name} has shape {arr.shape}, "
+                f"expected {tensor.shape}"
+            )
+        return arr
 
     def bind_feeds(self, feeds: Mapping[Tensor, np.ndarray]) -> Values:
         """Validate and convert feeds to the execution representation."""
-        bound: Values = {}
-        for tensor, value in feeds.items():
-            arr = np.asarray(value, dtype=EXEC_DTYPE)
-            if arr.shape != tensor.shape:
-                raise ExecutionError(
-                    f"feed for {tensor.name} has shape {arr.shape}, "
-                    f"expected {tensor.shape}"
-                )
-            bound[id(tensor)] = arr
+        bound: Values = {
+            id(tensor): self._bind_one(tensor, value)
+            for tensor, value in feeds.items()
+        }
         for used in self._used_input_ids:
             if used not in bound:
                 name = self._inputs_by_id[used].name
@@ -465,4 +570,113 @@ class ExecutionPlan:
         return (
             f"<ExecutionPlan {self.program.name}: {len(self.steps)} steps, "
             f"{self.workspace_bytes} arena bytes>"
+        )
+
+
+class BatchedExecutionPlan(ExecutionPlan):
+    """An execution plan compiled once for a fixed leading batch axis.
+
+    Every step processes ``batch_size`` independent requests in one numpy
+    call: einsum contractions run the ellipsis-batched formula with a path
+    precomputed for the batched operand shapes, elementwise and gather
+    steps broadcast their plan-time index grids over the batch, and the
+    arena packs ``batch_size`` lanes per intermediate (the memory plan is
+    computed with the batch-aware sizer, so disjoint live ranges still
+    share bytes).
+
+    Lane ``i`` is bit-identical to an unbatched replay of request ``i``,
+    which makes padding safe: a partially-filled batch replays duplicate
+    feeds in the spare lanes and the caller discards their outputs.
+    """
+
+    def __init__(
+        self,
+        program: TEProgram,
+        batch_size: int,
+        memory_plan: Optional[MemoryPlan] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise PlanningError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        # Set before super().__init__: the sizer and step builders read it.
+        self.batch_size = int(batch_size)
+        super().__init__(program, memory_plan)
+
+    def bind_batch(
+        self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]
+    ) -> Values:
+        """Validate per-request feeds and stack them along the batch axis.
+
+        Every request must feed the same placeholders (each at the
+        unbatched per-request shape); the bound arrays have shape
+        ``(batch_size,) + tensor.shape``. A placeholder fed the *same
+        array object* by every request (the common case for weights) is
+        validated once and broadcast as a zero-stride batch view instead
+        of copied per lane — bit-identical, since every lane reads the
+        same bytes either way.
+        """
+        if len(feeds_list) != self.batch_size:
+            raise ExecutionError(
+                f"batch of {len(feeds_list)} requests does not fill this "
+                f"plan's batch_size={self.batch_size}; pad or re-bucket"
+            )
+        first = feeds_list[0]
+        if any(len(feeds) != len(first) for feeds in feeds_list[1:]):
+            raise ExecutionError(
+                "requests in one batch must feed the same placeholders"
+            )
+        bound: Values = {}
+        batch_shape = (self.batch_size,)
+        for tensor, value in first.items():
+            lanes = [value]
+            for feeds in feeds_list[1:]:
+                try:
+                    lanes.append(feeds[tensor])
+                except KeyError:
+                    raise ExecutionError(
+                        "requests in one batch must feed the same "
+                        f"placeholders ({tensor.name} missing from one)"
+                    ) from None
+            if all(lane is value for lane in lanes[1:]):
+                arr = self._bind_one(tensor, value)
+                stacked = np.broadcast_to(arr, batch_shape + arr.shape)
+            else:
+                stacked = np.stack(
+                    [self._bind_one(tensor, lane) for lane in lanes]
+                )
+            bound[id(tensor)] = stacked
+        for used in self._used_input_ids:
+            if used not in bound:
+                name = self._inputs_by_id[used].name
+                raise ExecutionError(
+                    f"no feed provided for placeholder {name}"
+                )
+        return bound
+
+    def run_batch(
+        self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """One-shot convenience: stack, execute once, split per request.
+
+        Serving paths should go through :class:`~repro.runtime.session.
+        InferenceSession` / :class:`~repro.runtime.batching.BatchingServer`,
+        which pool arenas and handle bucketing/padding.
+        """
+        outputs = self.execute(self.bind_batch(feeds_list), self.new_arena())
+        return [
+            [np.array(out[lane]) for out in outputs]
+            for lane in range(self.batch_size)
+        ]
+
+    def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
+        raise ExecutionError(
+            "a BatchedExecutionPlan replays whole batches; use run_batch() "
+            "(or an unbatched ExecutionPlan for single requests)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchedExecutionPlan {self.program.name} x{self.batch_size}: "
+            f"{len(self.steps)} steps, {self.workspace_bytes} arena bytes>"
         )

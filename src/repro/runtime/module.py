@@ -200,17 +200,37 @@ class CompiledModule:
 
     def run_by_name(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
         """Like :meth:`run` but feeds are keyed by placeholder name."""
-        by_name = {t.name: t for t in self.program.inputs}
-        resolved: Dict[Tensor, np.ndarray] = {}
-        for name, value in feeds.items():
-            tensor = by_name.get(name)
-            if tensor is None:
-                raise ExecutionError(
-                    f"no input named {name!r}; available inputs: "
-                    f"{sorted(by_name)}"
-                )
-            resolved[tensor] = value
-        return self.run(resolved)
+        return self.session.run_by_name(feeds)
+
+    def run_batch(
+        self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Execute several requests through one batched plan replay.
+
+        Outputs per request are bit-identical to :meth:`run` on the same
+        feeds; see :class:`~repro.runtime.executor.BatchedExecutionPlan`.
+        """
+        return self.session.run_batch(feeds_list)
+
+    def run_batch_by_name(
+        self, feeds_list: Sequence[Mapping[str, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Like :meth:`run_batch` with name-keyed feeds."""
+        return self.session.run_batch_by_name(feeds_list)
+
+    def serve(
+        self,
+        max_batch_size: int = 8,
+        max_queue_delay_ms: float = 2.0,
+        start: bool = True,
+    ):
+        """A :class:`~repro.runtime.batching.BatchingServer` over this
+        module's session (started unless ``start=False``)."""
+        return self.session.serve(
+            max_batch_size=max_batch_size,
+            max_queue_delay_ms=max_queue_delay_ms,
+            start=start,
+        )
 
     # ---- inspection -----------------------------------------------------------
 

@@ -8,7 +8,7 @@ the compute- vs memory-intensive latency split of Sec. 8.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.gpu.kernel import KernelMetrics
 from repro.gpu.simulator import ModuleMetrics
@@ -142,6 +142,46 @@ class StepTiming:
 
 
 @dataclass
+class BatchStats:
+    """Dynamic-batching counters for one session or server.
+
+    ``mean_occupancy`` is the mean fraction of batch lanes that carried a
+    real request (padding lanes excluded); queue-wait percentiles are
+    filled in by the :class:`~repro.runtime.batching.BatchingServer`,
+    which is the layer that queues (a bare session never waits).
+    """
+
+    batches: int
+    batched_requests: int
+    mean_occupancy: float
+    queue_wait_p50_us: float = 0.0
+    queue_wait_p95_us: float = 0.0
+    queue_wait_p99_us: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def render(self) -> str:
+        text = (
+            f"batching: {self.batches} batches, "
+            f"{self.batched_requests} batched requests, "
+            f"mean batch {self.mean_batch_size:.2f}, "
+            f"occupancy {self.mean_occupancy * 100:.1f}%"
+        )
+        if self.queue_wait_p50_us or self.queue_wait_p99_us:
+            text += (
+                f"; queue wait p50/p95/p99 = "
+                f"{self.queue_wait_p50_us:.0f}/"
+                f"{self.queue_wait_p95_us:.0f}/"
+                f"{self.queue_wait_p99_us:.0f} us"
+            )
+        return text
+
+
+@dataclass
 class ExecutionProfile:
     """Measured per-request and per-step latency of an inference session."""
 
@@ -151,6 +191,10 @@ class ExecutionProfile:
     workspace_bytes: int
     arenas_allocated: int
     steps: List[StepTiming] = field(default_factory=list)
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    batching: Optional[BatchStats] = None
 
     @property
     def requests_per_second(self) -> float:
@@ -170,10 +214,14 @@ class ExecutionProfile:
             f"serving profile: {self.session_name} — "
             f"{self.requests} requests, "
             f"{self.requests_per_second:.1f} req/s, "
-            f"{self.mean_latency_us:.1f} us mean latency, "
+            f"{self.mean_latency_us:.1f} us mean latency "
+            f"(p50/p95/p99 = {self.p50_us:.0f}/{self.p95_us:.0f}/"
+            f"{self.p99_us:.0f} us), "
             f"{self.workspace_bytes / 1e6:.2f} MB arena "
             f"x{self.arenas_allocated}",
         ]
+        if self.batching is not None:
+            lines.append(self.batching.render())
         timed = [s for s in self.steps if s.calls > 0]
         if not timed:
             lines.append("(per-step timing disabled; profile=True to enable)")

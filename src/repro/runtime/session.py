@@ -5,26 +5,66 @@ executor.ExecutionPlan` for a TE program and replays it per request. Arenas
 (the preallocated intermediate workspaces) are checked out of a small pool
 under a lock, so the session is safe for repeated *and* concurrent calls:
 serial traffic reuses a single arena for its whole lifetime, while N
-overlapping requests grow the pool to at most N workspaces, once.
+overlapping requests grow the pool to at most N workspaces. The pool is
+bounded by ``max_pool`` — arenas released beyond the cap are dropped so a
+traffic burst cannot pin peak-concurrency memory forever.
+
+The session is also the batched execution entry point: :meth:`run_batch`
+routes a list of concurrent requests through per-bucket
+:class:`~repro.runtime.executor.BatchedExecutionPlan` replays (power-of-two
+``batch_buckets``, padded with duplicate feeds when a bucket is not full),
+falling back to the unbatched plan for batch-1 traffic. Cross-request
+dynamic batching — queueing, dispatch policy, futures — lives one layer up
+in :class:`~repro.runtime.batching.BatchingServer`; :meth:`serve` builds
+one over this session.
 
 The session also feeds the profiler: per-request wall latency is always
-recorded (two clock reads), and ``profile=True`` additionally accumulates
-per-step wall time, surfaced as an :class:`~repro.runtime.profiler.
-ExecutionProfile` via :meth:`InferenceSession.profile_report`.
+recorded (two clock reads plus a bounded ring buffer for p50/p95/p99),
+batch occupancy is tracked per replay, and ``profile=True`` additionally
+accumulates per-step wall time, surfaced as an :class:`~repro.runtime.
+profiler.ExecutionProfile` via :meth:`InferenceSession.profile_report`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Mapping, Optional
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PlanningError
 from repro.graph.te_program import TEProgram
-from repro.runtime.executor import Arena, ExecutionPlan
+from repro.runtime.executor import Arena, BatchedExecutionPlan, ExecutionPlan
 from repro.te.tensor import Tensor
+
+# Per-bucket batched plans compiled on demand; bucket 1 is the unbatched
+# plan itself (batch-1 traffic never pays batched-plan overhead).
+DEFAULT_BATCH_BUCKETS = (2, 4, 8)
+
+# Arenas kept per pool once traffic subsides (see max_pool).
+DEFAULT_MAX_POOL = 8
+
+# Per-request latencies kept for percentile reporting.
+DEFAULT_LATENCY_WINDOW = 2048
+
+
+def resolve_feeds_by_name(
+    program: TEProgram, feeds: Mapping[str, np.ndarray]
+) -> Dict[Tensor, np.ndarray]:
+    """Map name-keyed feeds onto the program's placeholder tensors."""
+    by_name = {t.name: t for t in program.inputs}
+    resolved: Dict[Tensor, np.ndarray] = {}
+    for name, value in feeds.items():
+        tensor = by_name.get(name)
+        if tensor is None:
+            raise ExecutionError(
+                f"no input named {name!r}; available inputs: "
+                f"{sorted(by_name)}"
+            )
+        resolved[tensor] = value
+    return resolved
 
 
 class InferenceSession:
@@ -36,36 +76,127 @@ class InferenceSession:
         name: Optional[str] = None,
         profile: bool = False,
         plan: Optional[ExecutionPlan] = None,
+        max_pool: int = DEFAULT_MAX_POOL,
+        batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
     ) -> None:
         self.name = name if name is not None else program.name
         self.plan = plan if plan is not None else ExecutionPlan(program)
         self.profile = profile
+        if max_pool < 1:
+            raise ExecutionError(f"max_pool must be >= 1, got {max_pool}")
+        self.max_pool = max_pool
+        buckets = sorted(set(int(b) for b in batch_buckets))
+        if not buckets or buckets[0] < 2:
+            raise ExecutionError(
+                f"batch_buckets must be sizes >= 2, got {batch_buckets!r} "
+                "(batch-1 traffic uses the unbatched plan)"
+            )
+        self.batch_buckets: Tuple[int, ...] = tuple(buckets)
         self._lock = threading.Lock()
         self._free_arenas: List[Arena] = []
+        self._free_batched: Dict[int, List[Arena]] = {}
+        self._batched_plans: Dict[int, BatchedExecutionPlan] = {}
+        self.unbatchable_buckets: set = set()
         self.arenas_allocated = 0
+        self.arenas_trimmed = 0
         self.request_count = 0
         self.request_seconds = 0.0
         self.last_latency_s = 0.0
+        self.batches_executed = 0
+        self.batched_requests = 0
+        self._occupancy_sum = 0.0
+        self._latencies: deque = deque(maxlen=latency_window)
         self._step_seconds = [0.0] * self.plan.num_steps
         self._step_calls = 0
 
     # ---- arena pool ------------------------------------------------------
 
-    def _acquire_arena(self) -> Arena:
+    def _acquire_arena(self, bucket: Optional[int] = None) -> Arena:
+        """Check an arena out of the (per-bucket) pool, allocating on miss."""
         with self._lock:
-            if self._free_arenas:
-                return self._free_arenas.pop()
+            pool = (
+                self._free_arenas
+                if bucket is None
+                else self._free_batched.setdefault(bucket, [])
+            )
+            if pool:
+                return pool.pop()
             self.arenas_allocated += 1
-        return self.plan.new_arena()
+            plan = self.plan if bucket is None else self._batched_plans[bucket]
+        return plan.new_arena()
 
-    def _release_arena(self, arena: Arena) -> None:
+    def _release_arena(self, arena: Arena, bucket: Optional[int] = None) -> None:
+        """Return an arena to its pool, dropping it beyond ``max_pool``."""
         with self._lock:
-            self._free_arenas.append(arena)
+            pool = (
+                self._free_arenas
+                if bucket is None
+                else self._free_batched.setdefault(bucket, [])
+            )
+            if len(pool) < self.max_pool:
+                pool.append(arena)
+            else:
+                self.arenas_trimmed += 1
+
+    @property
+    def arenas_pooled(self) -> int:
+        """Arenas currently idle in the pools (unbatched + every bucket)."""
+        with self._lock:
+            return len(self._free_arenas) + sum(
+                len(pool) for pool in self._free_batched.values()
+            )
 
     @property
     def workspace_bytes(self) -> int:
-        """Bytes of one arena (total resident: ``* arenas_allocated``)."""
+        """Bytes of one unbatched arena (batched buckets scale with B)."""
         return self.plan.workspace_bytes
+
+    # ---- batched plans ---------------------------------------------------
+
+    def select_batch_bucket(self, n: int) -> int:
+        """Smallest configured bucket >= n; the largest for oversize n
+        (``run_batch`` splits oversize batches into bucket-sized chunks)."""
+        if n < 1:
+            raise ExecutionError(f"batch size must be >= 1, got {n}")
+        for bucket in self.batch_buckets:
+            if bucket >= n:
+                return bucket
+        return self.batch_buckets[-1]
+
+    def batch_plan(self, bucket: int) -> BatchedExecutionPlan:
+        """The batched plan for one bucket (compiled lazily, cached)."""
+        if bucket not in self.batch_buckets:
+            raise ExecutionError(
+                f"{bucket} is not a configured batch bucket "
+                f"{self.batch_buckets}"
+            )
+        with self._lock:
+            plan = self._batched_plans.get(bucket)
+        if plan is None:
+            built = BatchedExecutionPlan(self.plan.program, bucket)
+            with self._lock:
+                plan = self._batched_plans.setdefault(bucket, built)
+        return plan
+
+    def _batch_plan_or_none(
+        self, bucket: int
+    ) -> Optional[BatchedExecutionPlan]:
+        """Like :meth:`batch_plan` but a build failure disables the bucket.
+
+        Batching is an optimisation: a program whose broadcast grids are
+        too large for ``bucket`` lanes (or that indexes data-dependently)
+        must degrade to smaller buckets or unbatched replay, not error.
+        """
+        with self._lock:
+            if bucket in self.unbatchable_buckets:
+                return None
+        try:
+            return self.batch_plan(bucket)
+        except (ExecutionError, PlanningError):
+            with self._lock:
+                self.unbatchable_buckets.add(bucket)
+            return None
 
     # ---- execution -------------------------------------------------------
 
@@ -80,30 +211,122 @@ class InferenceSession:
         finally:
             self._release_arena(arena)
         elapsed = time.perf_counter() - start
-
-        with self._lock:
-            self.request_count += 1
-            self.request_seconds += elapsed
-            self.last_latency_s = elapsed
-            if local_steps is not None:
-                self._step_calls += 1
-                for i, seconds in enumerate(local_steps):
-                    self._step_seconds[i] += seconds
+        self._record(1, elapsed, local_steps)
         return outputs
 
     def run_by_name(self, feeds: Mapping[str, np.ndarray]) -> List[np.ndarray]:
         """Like :meth:`run` but feeds are keyed by placeholder name."""
-        by_name = {t.name: t for t in self.plan.program.inputs}
-        resolved: Dict[Tensor, np.ndarray] = {}
-        for name, value in feeds.items():
-            tensor = by_name.get(name)
-            if tensor is None:
-                raise ExecutionError(
-                    f"no input named {name!r}; available inputs: "
-                    f"{sorted(by_name)}"
-                )
-            resolved[tensor] = value
-        return self.run(resolved)
+        return self.run(resolve_feeds_by_name(self.plan.program, feeds))
+
+    def run_batch(
+        self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Execute concurrent requests together; one output list each.
+
+        Requests are chunked to the largest configured bucket, each chunk
+        replayed through the bucket's batched plan (padded by replaying the
+        chunk's last request in the spare lanes — safe because batch lanes
+        are independent — with the padding outputs discarded). A chunk of
+        one falls back to the unbatched plan. Outputs are bit-identical to
+        running every request through :meth:`run`.
+        """
+        feeds_list = list(feeds_list)
+        if not feeds_list:
+            return []
+        results: List[List[np.ndarray]] = []
+        max_bucket = self.batch_buckets[-1]
+        for i in range(0, len(feeds_list), max_bucket):
+            results.extend(self._run_chunk(feeds_list[i:i + max_bucket]))
+        return results
+
+    def run_batch_by_name(
+        self, feeds_list: Sequence[Mapping[str, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Like :meth:`run_batch` but feeds are keyed by placeholder name."""
+        program = self.plan.program
+        return self.run_batch(
+            [resolve_feeds_by_name(program, feeds) for feeds in feeds_list]
+        )
+
+    def _run_chunk(
+        self, chunk: List[Mapping[Tensor, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        n = len(chunk)
+        if n == 1:
+            return [self.run(chunk[0])]
+        bucket = self.select_batch_bucket(n)
+        plan = self._batch_plan_or_none(bucket)
+        while plan is None:
+            # Degrade: largest bucket below the failed one, else unbatched.
+            smaller = [b for b in self.batch_buckets if b < bucket]
+            if not smaller:
+                return [self.run(feeds) for feeds in chunk]
+            bucket = smaller[-1]
+            plan = self._batch_plan_or_none(bucket)
+        if n > bucket:
+            # Happens when the selected bucket was unbatchable: re-chunk to
+            # the bucket that did build.
+            results: List[List[np.ndarray]] = []
+            for i in range(0, n, bucket):
+                results.extend(self._run_chunk(chunk[i:i + bucket]))
+            return results
+        padded = chunk + [chunk[-1]] * (bucket - n)
+        bound = plan.bind_batch(padded)
+        arena = self._acquire_arena(bucket)
+        local_steps = [0.0] * plan.num_steps if self.profile else None
+        start = time.perf_counter()
+        try:
+            outputs = plan.execute(bound, arena, local_steps)
+        finally:
+            self._release_arena(arena, bucket)
+        elapsed = time.perf_counter() - start
+        self._record(n, elapsed, local_steps, bucket=bucket)
+        return [
+            [np.array(out[lane]) for out in outputs] for lane in range(n)
+        ]
+
+    def _record(
+        self,
+        requests: int,
+        elapsed: float,
+        local_steps: Optional[List[float]],
+        bucket: Optional[int] = None,
+    ) -> None:
+        with self._lock:
+            self.request_count += requests
+            self.request_seconds += elapsed
+            self.last_latency_s = elapsed
+            # Every request in a batch waited for the whole replay.
+            self._latencies.extend([elapsed] * requests)
+            if bucket is not None:
+                self.batches_executed += 1
+                self.batched_requests += requests
+                self._occupancy_sum += requests / bucket
+            if local_steps is not None:
+                self._step_calls += 1
+                for i, seconds in enumerate(local_steps):
+                    self._step_seconds[i] += seconds
+
+    # ---- serving ---------------------------------------------------------
+
+    def serve(
+        self,
+        max_batch_size: int = 8,
+        max_queue_delay_ms: float = 2.0,
+        start: bool = True,
+    ):
+        """A :class:`~repro.runtime.batching.BatchingServer` over this
+        session (started unless ``start=False``)."""
+        from repro.runtime.batching import BatchingServer
+
+        server = BatchingServer(
+            self,
+            max_batch_size=max_batch_size,
+            max_queue_delay_ms=max_queue_delay_ms,
+        )
+        if start:
+            server.start()
+        return server
 
     # ---- metrics ---------------------------------------------------------
 
@@ -114,10 +337,35 @@ class InferenceSession:
             return 0.0
         return self.request_count / self.request_seconds
 
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean fraction of batch lanes carrying real requests."""
+        if self.batches_executed == 0:
+            return 0.0
+        return self._occupancy_sum / self.batches_executed
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 request latency (seconds) over the bounded window."""
+        with self._lock:
+            window = list(self._latencies)
+        if not window:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        arr = np.asarray(window)
+        return {
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
     def profile_report(self):
         """Per-step/per-request timing as an ``ExecutionProfile``."""
-        from repro.runtime.profiler import ExecutionProfile, StepTiming
+        from repro.runtime.profiler import (
+            BatchStats,
+            ExecutionProfile,
+            StepTiming,
+        )
 
+        percentiles = self.latency_percentiles()
         with self._lock:
             steps = [
                 StepTiming(
@@ -129,6 +377,13 @@ class InferenceSession:
                 )
                 for step in self.plan.steps
             ]
+            batching = None
+            if self.batches_executed:
+                batching = BatchStats(
+                    batches=self.batches_executed,
+                    batched_requests=self.batched_requests,
+                    mean_occupancy=self._occupancy_sum / self.batches_executed,
+                )
             return ExecutionProfile(
                 session_name=self.name,
                 requests=self.request_count,
@@ -136,6 +391,10 @@ class InferenceSession:
                 workspace_bytes=self.workspace_bytes,
                 arenas_allocated=self.arenas_allocated,
                 steps=steps,
+                p50_us=percentiles["p50"] * 1e6,
+                p95_us=percentiles["p95"] * 1e6,
+                p99_us=percentiles["p99"] * 1e6,
+                batching=batching,
             )
 
     def __repr__(self) -> str:

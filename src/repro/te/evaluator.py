@@ -30,7 +30,7 @@ from repro.te.expr import (
     TensorRead,
     Var,
 )
-from repro.te.patterns import match_matmul
+from repro.te.patterns import contraction_path, match_matmul
 from repro.te.tensor import Tensor
 
 # Refuse to materialise broadcast grids larger than this many elements;
@@ -110,7 +110,9 @@ class Evaluator:
         self._values: Dict[int, np.ndarray] = {}
         self._tensors: Dict[int, Tensor] = {}
         for tensor, value in feeds.items():
-            arr = np.asarray(value, dtype=np.float64)
+            # C-contiguous like the plan engine's bound feeds: einsum bits
+            # depend on operand layout once contraction paths are in play.
+            arr = np.ascontiguousarray(value, dtype=np.float64)
             if arr.shape != tensor.shape:
                 raise ExecutionError(
                     f"feed for {tensor.name} has shape {arr.shape}, "
@@ -145,7 +147,19 @@ class Evaluator:
         if pattern is not None:
             lhs = self.value_of(pattern.lhs)
             rhs = self.value_of(pattern.rhs)
-            return np.einsum(pattern.einsum_formula, lhs, rhs)
+            # The precomputed path keeps this call identical to the
+            # execution plan's einsum steps (see patterns.contraction_path).
+            path = contraction_path(
+                pattern.einsum_formula, lhs.shape, rhs.shape
+            )
+            result = np.einsum(
+                pattern.einsum_formula, lhs, rhs, optimize=path
+            )
+            # An optimized einsum may hand back a transposed view; memoised
+            # values must stay C-contiguous because einsum's summation
+            # order (and so its low-order bits) depends on operand layout,
+            # and the execution plan always consumes contiguous arenas.
+            return np.ascontiguousarray(result)
 
         spatial = list(op.axes)
         body = op.body

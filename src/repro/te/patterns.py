@@ -7,11 +7,31 @@ scheduler (tensor-core eligibility) and by TE characterisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.te.expr import BinOp, Call, Cmp, Const, Expr, IfThenElse, Reduce, TensorRead, Var
 from repro.te.tensor import Tensor
 from repro.te.traversal import contains_reduce, walk
+
+
+@lru_cache(maxsize=None)
+def contraction_path(formula: str, *operand_shapes: Tuple[int, ...]) -> list:
+    """The ``np.einsum_path`` contraction order for one formula + shapes.
+
+    Shapes are known wherever a contraction is dispatched (plan time in the
+    executor, operand evaluation time in the evaluator), so the path — which
+    unlocks numpy's BLAS dispatch — is computed once per (formula, shapes)
+    and shared process-wide. Every einsum site must use this helper: the
+    optimized path changes low-order summation bits versus the default
+    strided loop, and bit-identity between the evaluator oracle, the
+    execution plan and the batched plan holds because all three issue the
+    *same* einsum call.
+    """
+    operands = [np.broadcast_to(np.float64(0.0), s) for s in operand_shapes]
+    return np.einsum_path(formula, *operands, optimize="optimal")[0]
 
 
 def is_elementwise(tensor: Tensor) -> bool:

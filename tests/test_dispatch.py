@@ -115,6 +115,40 @@ class TestPlanReuse:
         assert small is not large
         assert small.program is not large.program
 
+    def test_batch_groups_by_bucket_and_preserves_order(self, dispatcher):
+        """run_batch routes each request to its shape bucket, replays every
+        bucket group through one batched plan, and returns results in
+        submission order, bit-identical to per-request run calls."""
+        rng = np.random.default_rng(6)
+        sizes = [7, 30, 11, 8, 25, 16, 5]
+        requests = [feeds_for(s, rng) for s in sizes]
+        expected = [dispatcher.run(feeds) for feeds in requests]
+        dispatcher.history.clear()
+        batched = dispatcher.run_batch(requests)
+        assert len(batched) == len(requests)
+        for want, got in zip(expected, batched):
+            for a, b in zip(want, got):
+                assert np.array_equal(a, b)
+        # One history record per request, bucketed as run() would.
+        assert [r.requested for r in dispatcher.history] != []
+        by_req = {r.requested: r.bucket for r in dispatcher.history}
+        assert by_req == {7: 8, 30: 32, 11: 16, 8: 8, 25: 32, 16: 16, 5: 8}
+        # Shape-bucket groups replayed batched where more than one request
+        # landed (7+8+5 -> bucket 8; 30+25 -> bucket 32; 11+16 -> bucket 16).
+        for bucket in (8, 16, 32):
+            assert dispatcher.module_for(bucket).session.batched_requests > 0
+
+    def test_batch_of_one_uses_unbatched_path(self, dispatcher):
+        rng = np.random.default_rng(7)
+        feeds = feeds_for(9, rng)
+        (batched,) = dispatcher.run_batch([feeds])
+        (single,) = dispatcher.run(feeds)
+        assert np.array_equal(batched[0], single)
+        assert dispatcher.module_for(16).session.batches_executed == 0
+
+    def test_empty_batch(self, dispatcher):
+        assert dispatcher.run_batch([]) == []
+
     def test_padded_run_slices_outputs_back(self, dispatcher):
         """Plan execution happens at bucket shape; the caller still sees
         request-shaped outputs that match an exact-shape reference."""
