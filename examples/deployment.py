@@ -67,7 +67,7 @@ def main() -> None:
     # ---- serving with an explicit session ------------------------------------
     print("\nplan-based serving (tiny BERT, 200 requests):")
     program = lower_graph(build_bert_tiny())
-    session = InferenceSession(program, profile=True)
+    session = InferenceSession(program, profile=True, optimize=True)
     feeds = {
         t.name: rng.standard_normal(t.shape) * 0.1 for t in program.inputs
     }
@@ -80,6 +80,19 @@ def main() -> None:
         f"({session.requests_per_second:.0f} req/s), workspace "
         f"{session.workspace_bytes / 1e3:.1f} kB allocated "
         f"{session.arenas_allocated}x"
+    )
+    print(f"  {session.plan.optimization.stats.summary()}")
+
+    # `optimize=True` is the default; `optimize=False` keeps the plain
+    # one-step-per-TE plan (the baseline the optimizer is measured against).
+    plain = InferenceSession(program, optimize=False)
+    plain.run_by_name(feeds)
+    start = time.perf_counter()
+    for _ in range(200):
+        plain.run_by_name(feeds)
+    print(
+        f"  unoptimized baseline: {200 / (time.perf_counter() - start):.0f} "
+        f"req/s over {plain.plan.num_steps} steps"
     )
     print("\n  slowest plan steps:")
     for line in session.profile_report().render(top=5).splitlines()[1:]:

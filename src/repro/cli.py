@@ -10,6 +10,7 @@ Usage::
     python -m repro compile /tmp/swin.json      # compile an exported graph
     python -m repro compile-stats bert --cache-dir /tmp/cache --repeat 2
     python -m repro lint bert --strict          # static verification
+    python -m repro plan-stats bert --batch 8   # plan-optimizer report
 
 ``compile`` and ``compile-stats`` honour ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) for the persistent compile cache
@@ -301,6 +302,46 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_plan_stats(args: argparse.Namespace) -> int:
+    """Report what the plan-optimizer pass pipeline does to one model."""
+    from repro.runtime.plan_opt import plan_optimization
+
+    batch = args.batch if args.batch > 1 else None
+    if args.scale == "tiny":
+        if args.model not in TINY_MODELS:
+            raise SystemExit(
+                f"unknown tiny model {args.model!r}; choose one of "
+                f"{sorted(TINY_MODELS)} (or use --scale paper)"
+            )
+        graph = get_model(args.model, scale="tiny")
+        program = lower_graph(graph)
+        # Tiny models build the real optimized plan, so the report includes
+        # the per-step matmul-specialization counts (decided at plan time
+        # by the differential bit-identity gate).
+        from repro.runtime.executor import (
+            BatchedExecutionPlan,
+            ExecutionPlan,
+        )
+
+        plan = (
+            BatchedExecutionPlan(program, batch, optimize=True)
+            if batch is not None
+            else ExecutionPlan(program, optimize=True)
+        )
+        stats = plan.optimization.stats
+    else:
+        # Paper-scale grids exceed the functional executor's limits; the
+        # static planner still reports hoisting/fusion/elision/waves and
+        # the repacked arena.
+        graph = _resolve_model(args.model)
+        program = lower_graph(graph)
+        stats = plan_optimization(program, batch_size=batch).stats
+    suffix = f" (batch {batch})" if batch is not None else ""
+    print(f"plan optimizer: {graph.name}{suffix}")
+    print(stats.render())
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     graph = _resolve_model(args.model)
     save_graph(graph, args.path)
@@ -397,6 +438,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors (exit 1)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "plan-stats",
+        help="what the plan optimizer does to a model's execution plan "
+             "(steps fused, weights hoisted, bytes elided, waves)",
+    )
+    p.add_argument("model", help="model name")
+    p.add_argument("--scale", choices=("tiny", "paper"), default="tiny",
+                   help="tiny builds the real optimized plan (includes "
+                        "matmul specialization); paper reports the static "
+                        "planner only (default tiny)")
+    p.add_argument("--batch", type=int, default=0,
+                   help="optimize the batched plan at this batch size "
+                        "(0 = unbatched)")
+    p.set_defaults(fn=cmd_plan_stats)
 
     p = sub.add_parser("export", help="export a model to the JSON format")
     add_common(p)

@@ -22,10 +22,15 @@ class SouffleOptions:
     subprogram_opt: bool = True
     validate: bool = False  # differentially check every transformation
     verify: bool = False    # statically verify the IR at every pipeline stage
+    # Serve through plan-optimized execution plans (runtime step fusion,
+    # weight hoisting, in-place elision, wave scheduling). Orthogonal to
+    # the V-levels: it rewrites the *runtime* step list, not the TE IR.
+    optimize_plans: bool = True
 
     @classmethod
     def from_level(cls, level: int, validate: bool = False,
-                   verify: bool = False) -> "SouffleOptions":
+                   verify: bool = False,
+                   optimize_plans: bool = True) -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -36,6 +41,7 @@ class SouffleOptions:
             subprogram_opt=level >= 4,
             validate=validate,
             verify=verify,
+            optimize_plans=optimize_plans,
         )
 
     @property

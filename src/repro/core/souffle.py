@@ -249,6 +249,7 @@ class SouffleCompiler:
             kernels=kernels,
             device=self.device,
             stats=stats,
+            optimize_plans=options.optimize_plans,
         )
 
         if cache is not None and cache.modules is not None and mkey is not None:

@@ -70,7 +70,8 @@ def lower_graph(graph: Graph) -> TEProgram:
     for node in graph.nodes:
         if node.is_source:
             env[node] = ctx.add_placeholder(
-                placeholder(node.shape, dtype=node.dtype, name=node.name)
+                placeholder(node.shape, dtype=node.dtype, name=node.name,
+                            role=node.op_type)
             )
             continue
         rule = _RULES.get(node.op_type)

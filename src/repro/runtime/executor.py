@@ -39,6 +39,8 @@ down across every paper model.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -69,14 +71,28 @@ EXEC_ITEMSIZE = np.dtype(EXEC_DTYPE).itemsize
 
 # A values table maps id(tensor) -> ndarray (feed, arena view or output).
 Values = Dict[int, np.ndarray]
+
+# Sentinel values-table key under which bind_feeds/bind_batch smuggle the
+# *original* (pre-conversion) feed objects for hoist roots to execute(),
+# which keys the per-weight-set hoist cache on their identities. Popped
+# before any step runs; absent means "recompute the hoisted subgraph".
+_HOIST_TOKEN: object = object()
+
+# Per-plan cap on cached hoisted weight-sets (a serving session feeds one).
+_HOIST_CACHE_LIMIT = 4
 # A compiled subexpression: either a plan-time constant array or a closure.
 _Compiled = Tuple[Optional[np.ndarray], Optional[Callable[[Values], np.ndarray]]]
 
 
 class PlanStep:
-    """One executable step: computes a tensor into ``values[key]``."""
+    """One executable step: computes a tensor into ``values[key]``.
 
-    __slots__ = ("index", "name", "kind", "key", "run")
+    ``value_fn`` (map/const steps only) produces the step's value *without*
+    writing the arena — the raw compiled closure behind ``run``'s final
+    ``copyto``. The plan optimizer composes these to fuse step chains.
+    """
+
+    __slots__ = ("index", "name", "kind", "key", "run", "value_fn")
 
     def __init__(
         self,
@@ -85,12 +101,14 @@ class PlanStep:
         kind: str,
         key: int,
         run: Callable[[Values], None],
+        value_fn: Optional[Callable[[Values], np.ndarray]] = None,
     ) -> None:
         self.index = index
         self.name = name
         self.kind = kind
         self.key = key
         self.run = run
+        self.value_fn = value_fn
 
     def __repr__(self) -> str:
         return f"<PlanStep#{self.index} {self.name} [{self.kind}]>"
@@ -310,6 +328,7 @@ class ExecutionPlan:
         self,
         program: TEProgram,
         memory_plan: Optional[MemoryPlan] = None,
+        optimize: bool = False,
     ) -> None:
         self.program = program
         if memory_plan is None:
@@ -329,6 +348,22 @@ class ExecutionPlan:
         ]
         self._output_keys: List[int] = [id(t) for t in program.outputs]
         self._validate_layout()
+        # Plan-optimizer state; optimize_plan() rewrites steps/memory_plan
+        # and fills these in (see repro.runtime.plan_opt).
+        self.optimization = None
+        self.waves: Optional[List[Tuple[Tuple[int, ...], bool]]] = None
+        self._wave_pool = None
+        self._hoist_steps: List[Tuple[PlanStep, Tuple[int, ...]]] = []
+        self._hoist_roots: List[Tensor] = []
+        self._hoist_input_ids: List[int] = []
+        self._hoist_boundary_ids: List[int] = []
+        self._hoist_cache: Dict[Tuple[int, ...], Values] = {}
+        self._hoist_lock = threading.Lock()
+        self.hoist_evaluations = 0
+        if optimize:
+            from repro.runtime.plan_opt import optimize_plan
+
+            optimize_plan(self)
         ExecutionPlan.plans_built += 1
 
     # ---- construction ----------------------------------------------------
@@ -405,12 +440,17 @@ class ExecutionPlan:
                 def run_const(v: Values, key=key, folded=folded):
                     np.copyto(v[key], folded)
 
-                return PlanStep(index, tensor.name, "const", key, run_const)
+                return PlanStep(
+                    index, tensor.name, "const", key, run_const,
+                    value_fn=lambda v, folded=folded: folded,
+                )
 
             def run_map(v: Values, key=key, fn=fn):
                 np.copyto(v[key], fn(v))
 
-            return PlanStep(index, tensor.name, "map", key, run_map)
+            return PlanStep(
+                index, tensor.name, "map", key, run_map, value_fn=fn
+            )
 
         full_shape = self._batched_shape(tuple(ax.extent for ax in all_axes))
         offset = 0 if self.batch_size is None else 1
@@ -427,7 +467,10 @@ class ExecutionPlan:
             def run_const_red(v: Values, key=key, folded=folded):
                 np.copyto(v[key], folded)
 
-            return PlanStep(index, tensor.name, "const", key, run_const_red)
+            return PlanStep(
+                index, tensor.name, "const", key, run_const_red,
+                value_fn=lambda v, folded=folded: folded,
+            )
 
         def run_reduce(
             v: Values,
@@ -527,7 +570,42 @@ class ExecutionPlan:
                 raise ExecutionError(
                     f"no feed provided for placeholder {name}"
                 )
+        if self._hoist_steps:
+            originals = {id(t): v for t, v in feeds.items()}
+            token = tuple(
+                originals.get(i) for i in self._hoist_input_ids
+            )
+            if all(o is not None for o in token):
+                bound[_HOIST_TOKEN] = token
         return bound
+
+    def _hoist_values(self, token, bound: Values) -> Values:
+        """Evaluate (or fetch) the hoisted weight subgraph for one request.
+
+        The cache is keyed on the identities of the *original* feed objects
+        for the hoist roots — a session feeding the same weight arrays every
+        request hits after the first evaluation; fresh arrays (or a missing
+        token) recompute, so mutated weights can never serve stale values.
+        """
+        key = tuple(id(o) for o in token) if token is not None else None
+        if key is not None:
+            cached = self._hoist_cache.get(key)
+            if cached is not None:
+                return cached
+        env: Values = {i: bound[i] for i in self._hoist_input_ids}
+        out: Values = {}
+        for step, shape in self._hoist_steps:
+            arr = np.empty(shape, dtype=EXEC_DTYPE)
+            env[step.key] = arr
+            step.run(env)
+            out[step.key] = arr
+        self.hoist_evaluations += 1
+        if key is not None:
+            with self._hoist_lock:
+                while len(self._hoist_cache) >= _HOIST_CACHE_LIMIT:
+                    self._hoist_cache.pop(next(iter(self._hoist_cache)))
+                self._hoist_cache[key] = out
+        return out
 
     def execute(
         self,
@@ -543,15 +621,33 @@ class ExecutionPlan:
         """
         values = dict(arena.views)
         values.update(bound)
+        token = values.pop(_HOIST_TOKEN, None)
+        if self._hoist_steps:
+            values.update(self._hoist_values(token, bound))
         for key, shape in self._output_allocs:
             values[key] = np.empty(shape, dtype=EXEC_DTYPE)
 
         if step_seconds is None:
-            for step in self.steps:
-                step.run(values)
+            if self.waves is None:
+                for step in self.steps:
+                    step.run(values)
+            else:
+                steps = self.steps
+                pool = self._wave_pool
+                for positions, parallel in self.waves:
+                    if parallel and pool is not None:
+                        pool.run_all([
+                            (lambda s=steps[p], v=values: s.run(v))
+                            for p in positions
+                        ])
+                    else:
+                        for p in positions:
+                            steps[p].run(values)
         else:
             from time import perf_counter
 
+            # Timed replays run serially (self.steps is already in wave
+            # execution order) so per-step attribution stays exact.
             for i, step in enumerate(self.steps):
                 start = perf_counter()
                 step.run(values)
@@ -567,9 +663,10 @@ class ExecutionPlan:
         return self.execute(self.bind_feeds(feeds), self.new_arena())
 
     def __repr__(self) -> str:
+        tag = " optimized" if self.optimization is not None else ""
         return (
-            f"<ExecutionPlan {self.program.name}: {len(self.steps)} steps, "
-            f"{self.workspace_bytes} arena bytes>"
+            f"<ExecutionPlan {self.program.name}{tag}: "
+            f"{len(self.steps)} steps, {self.workspace_bytes} arena bytes>"
         )
 
 
@@ -594,6 +691,7 @@ class BatchedExecutionPlan(ExecutionPlan):
         program: TEProgram,
         batch_size: int,
         memory_plan: Optional[MemoryPlan] = None,
+        optimize: bool = False,
     ) -> None:
         if batch_size < 1:
             raise PlanningError(
@@ -601,7 +699,7 @@ class BatchedExecutionPlan(ExecutionPlan):
             )
         # Set before super().__init__: the sizer and step builders read it.
         self.batch_size = int(batch_size)
-        super().__init__(program, memory_plan)
+        super().__init__(program, memory_plan, optimize=optimize)
 
     def bind_batch(
         self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]
@@ -652,6 +750,14 @@ class BatchedExecutionPlan(ExecutionPlan):
                 raise ExecutionError(
                     f"no feed provided for placeholder {name}"
                 )
+        if self._hoist_steps:
+            token = []
+            for i in self._hoist_input_ids:
+                tensor = self._inputs_by_id[i]
+                for feeds in feeds_list:
+                    token.append(feeds.get(tensor))
+            if all(o is not None for o in token):
+                bound[_HOIST_TOKEN] = tuple(token)
         return bound
 
     def run_batch(
@@ -676,7 +782,9 @@ class BatchedExecutionPlan(ExecutionPlan):
         )
 
     def __repr__(self) -> str:
+        tag = " optimized" if self.optimization is not None else ""
         return (
-            f"<BatchedExecutionPlan {self.program.name} x{self.batch_size}: "
-            f"{len(self.steps)} steps, {self.workspace_bytes} arena bytes>"
+            f"<BatchedExecutionPlan {self.program.name}{tag} "
+            f"x{self.batch_size}: {len(self.steps)} steps, "
+            f"{self.workspace_bytes} arena bytes>"
         )

@@ -45,6 +45,40 @@ def _conflicts(a: LiveRange, b: LiveRange, exclusive_writes: bool) -> bool:
     return a.overlaps(b)
 
 
+def pack_intervals(
+    items: List[Tuple[int, LiveRange]], exclusive_writes: bool
+) -> Tuple[List[int], int]:
+    """Greedy best-fit-decreasing packing of (nbytes, live-range) intervals.
+
+    The core placement loop shared by :func:`plan_memory` and the runtime
+    plan optimizer's arena repacker (which packs over *optimized step
+    positions* rather than TE indices — the live-range index domain is the
+    caller's). Sizes are aligned here; ties in the decreasing-size order
+    keep input order (stable sort), so layouts are deterministic. Returns
+    per-item offsets in input order plus the packed workspace size.
+    """
+    order = sorted(range(len(items)), key=lambda i: -items[i][0])
+    offsets = [0] * len(items)
+    placed: List[Tuple[int, int, LiveRange]] = []
+    workspace = 0
+    for i in order:
+        nbytes = _align(items[i][0])
+        live = items[i][1]
+        conflicts = sorted(
+            (p for p in placed if _conflicts(p[2], live, exclusive_writes)),
+            key=lambda p: p[0],
+        )
+        offset = 0
+        for existing_offset, existing_end, _ in conflicts:
+            if offset + nbytes <= existing_offset:
+                break
+            offset = max(offset, existing_end)
+        offsets[i] = offset
+        placed.append((offset, offset + nbytes, live))
+        workspace = max(workspace, offset + nbytes)
+    return offsets, workspace
+
+
 @dataclass(frozen=True)
 class BufferAssignment:
     """One tensor's placement inside the shared workspace."""
@@ -143,24 +177,14 @@ def plan_memory(
         intermediates.append((tensor, ranges[tensor]))
 
     plan.unshared_bytes = sum(_align(size_of(t)) for t, _ in intermediates)
-    intermediates.sort(key=lambda pair: -size_of(pair[0]))
 
-    placed: List[BufferAssignment] = []
-    for tensor, live in intermediates:
-        nbytes = _align(size_of(tensor))
-        conflicts = sorted(
-            (a for a in placed if _conflicts(a.live, live, exclusive_writes)),
-            key=lambda a: a.offset,
+    items = [(size_of(t), live) for t, live in intermediates]
+    offsets, workspace = pack_intervals(items, exclusive_writes)
+    for (tensor, live), offset in zip(intermediates, offsets):
+        plan.assignments[tensor] = BufferAssignment(
+            tensor, offset, _align(size_of(tensor)), live
         )
-        offset = 0
-        for existing in conflicts:
-            if offset + nbytes <= existing.offset:
-                break
-            offset = max(offset, existing.end)
-        assignment = BufferAssignment(tensor, offset, nbytes, live)
-        placed.append(assignment)
-        plan.assignments[tensor] = assignment
-        plan.workspace_bytes = max(plan.workspace_bytes, assignment.end)
+    plan.workspace_bytes = workspace
 
     plan.validate()
     return plan

@@ -122,6 +122,7 @@ class CompiledModule:
         device: GPUSpec,
         stats: Optional[CompileStats] = None,
         program_loader: Optional[Callable[[], TEProgram]] = None,
+        optimize_plans: bool = True,
     ) -> None:
         self.name = name
         self.compiler = compiler
@@ -130,6 +131,9 @@ class CompiledModule:
         self.stats = stats if stats is not None else CompileStats()
         self._program = program
         self._program_loader = program_loader
+        # Whether sessions built from this module serve plan-optimized
+        # execution plans (SouffleOptions.optimize_plans).
+        self.optimize_plans = optimize_plans
         self._session: Optional["InferenceSession"] = None
 
     # ---- program materialisation ---------------------------------------------
@@ -180,7 +184,10 @@ class CompiledModule:
             # keeps module import light for performance-only consumers.
             from repro.runtime.session import InferenceSession
 
-            self._session = InferenceSession(self.program, name=self.name)
+            self._session = InferenceSession(
+                self.program, name=self.name,
+                optimize=self.optimize_plans,
+            )
         return self._session
 
     def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:

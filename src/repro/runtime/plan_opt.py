@@ -1,0 +1,821 @@
+"""Plan-optimizer pass pipeline: rewrite a built execution plan's step list
+and arena layout before its first replay.
+
+The compiler-side global analysis (Sec. 5-6 of the paper) fuses TEs and
+plans reuse *inside* kernels; this module is its runtime mirror over the
+:class:`~repro.runtime.executor.ExecutionPlan` step DAG. Four passes, each
+optional and each required to keep replay bit-identical to the unoptimized
+plan:
+
+1. **Weight-subgraph hoisting** (Sec. 5.1 temporal reuse) — steps whose
+   transitive inputs are all session-bound constants (``role="weight"``
+   placeholders) are evaluated once per weight-set at bind time and cached
+   on the plan, so pre-packed weights survive across requests.
+2. **Vertical step fusion** (Sec. 6.2, Eq. 2) — chains of one-relies-on-one
+   ``map`` steps whose producer has a single consumer are composed into one
+   closure; the intermediate is never materialised and leaves the arena.
+3. **In-place elision** (Sec. 6.5 buffer reuse) — a fused or lone
+   elementwise step whose input buffer dies at that step writes into its
+   input's bytes, shrinking ``workspace_bytes``. Safe because ``map`` steps
+   fully evaluate their value into temporaries before the final ``copyto``.
+4. **Wave scheduling** (Sec. 6.1 horizontal packing) — steps are levelised
+   into dependency waves; byte-conflicting same-level steps are split into
+   sequential sub-waves, and big independent steps dispatch onto a shared
+   :class:`~repro.core.parallel.WorkerPool` (numpy releases the GIL inside
+   ufunc/einsum/BLAS loops), with a serial fallback.
+
+On top of the mandated passes, einsum-shaped steps are *specialized* to
+direct ``np.matmul(..., out=view)`` calls — but only when a plan-time
+differential check proves the replacement bit-identical on the step's exact
+operand shapes (including zero-stride batched-weight layouts); otherwise
+the einsum closure is kept. This is where most of the measured single-
+request speedup comes from: the models' hot steps are small GEMMs whose
+``np.einsum`` dispatch overhead dwarfs the BLAS call.
+
+The optimized layout is re-verified by the verifier's arena-hazard pass
+(with an explicit allowlist for the deliberate in-place pairs) and the
+rewritten plan raises :class:`~repro.errors.PlanningError` on any unsafe
+layout, exactly like the unoptimized path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.liveness import LiveRange
+from repro.core.parallel import WorkerPool
+from repro.errors import PlanningError
+from repro.graph.te_program import TENode, TEProgram
+from repro.runtime.memory_planner import (
+    BufferAssignment,
+    MemoryPlan,
+    _align,
+    pack_intervals,
+    plan_memory,
+)
+from repro.te.expr import Reduce, Var
+from repro.te.patterns import match_matmul
+from repro.te.tensor import Tensor
+from repro.te.traversal import collect_reads, input_tensors
+from repro.verify.view import ProgramView
+
+# Parallel wave dispatch pays thread handoff (~tens of us per wave); only
+# waves where every step moves at least this many elements are eligible,
+# so small models stay serial. Tests monkeypatch this to force dispatch.
+PARALLEL_MIN_WAVE_ELEMENTS = 1 << 16
+
+# One process-wide persistent pool shared by every optimized plan: wave
+# work is GIL-releasing numpy, so a single bounded thread set serves all
+# concurrent sessions without per-request executor churn.
+WAVE_POOL = WorkerPool(persistent=True)
+
+
+def _identity_reads_only(consumer: TENode, producer: Tensor) -> bool:
+    """Whether every read of ``producer`` in ``consumer`` is the identity.
+
+    Mirrors the executor's identity-view fast path (``T[i, j, ...]`` over
+    the consumer's own axes sweeping the full tensor). Fusion is restricted
+    to such reads: the fused interior value is a lazy broadcast view, which
+    an identity-reading ufunc consumes at contiguous speed, while a gather
+    (fancy indexing) over a non-contiguous view is *slower* than gathering
+    the materialised array the unfused step would have produced.
+    """
+    op = consumer.tensor.op
+    axis_names = [ax.name for ax in op.axes]
+    extents = tuple(ax.extent for ax in op.axes)
+    for read in collect_reads(op.body):
+        if read.tensor is not producer:
+            continue
+        names = [i.name for i in read.indices if isinstance(i, Var)]
+        if (len(names) != len(read.indices)
+                or names != axis_names
+                or tuple(producer.shape) != extents):
+            return False
+    return True
+
+
+def step_kind(tensor: Tensor) -> str:
+    """Static mirror of ``ExecutionPlan._build_step`` dispatch.
+
+    ``einsum`` for matmul-shaped contractions, ``const`` for fully
+    data-independent bodies (no tensor reads anywhere), otherwise
+    ``reduce``/``map`` by the presence of a top-level reduction.
+    """
+    if match_matmul(tensor) is not None:
+        return "einsum"
+    body = tensor.op.body
+    if not input_tensors(body):
+        return "const"
+    return "reduce" if isinstance(body, Reduce) else "map"
+
+
+@dataclass
+class StepGroup:
+    """One optimized step: a terminal node plus fused-in producers."""
+
+    position: int               # index in optimized execution order
+    members: List[TENode]       # original nodes, program order, terminal last
+    terminal: TENode
+    reads: List[Tensor]         # tensors read from outside the group
+
+    @property
+    def name(self) -> str:
+        return "+".join(m.name for m in self.members)
+
+
+class _StepNode:
+    """Duck-typed view node over a :class:`StepGroup` for the verifier.
+
+    The arena-hazard pass only touches ``index``/``tensor``/``name``/
+    ``inputs``; a real :class:`~repro.graph.te_program.TENode` would
+    recompute ``inputs`` from the TE body and miss the fusion rewiring.
+    """
+
+    __slots__ = ("index", "tensor", "name", "inputs")
+
+    def __init__(self, index: int, tensor: Tensor, name: str,
+                 inputs: List[Tensor]) -> None:
+        self.index = index
+        self.tensor = tensor
+        self.name = name
+        self.inputs = inputs
+
+    def __repr__(self) -> str:
+        return f"<StepNode#{self.index} {self.name}>"
+
+
+@dataclass
+class OptimizeStats:
+    """What the pass pipeline did to one plan (``repro plan-stats``)."""
+
+    steps_before: int = 0
+    steps_after: int = 0
+    hoisted_steps: int = 0
+    fused_steps: int = 0             # producers folded into their consumer
+    elided_buffers: int = 0
+    elided_bytes: int = 0            # arena bytes merged away by elision
+    specialized_contractions: int = 0
+    einsum_steps: int = 0
+    wave_count: int = 0
+    parallel_waves: int = 0          # waves eligible for pool dispatch
+    workspace_before: int = 0
+    workspace_after: int = 0
+
+    @property
+    def arena_bytes_saved(self) -> int:
+        return max(0, self.workspace_before - self.workspace_after)
+
+    def summary(self) -> str:
+        """One line for profile reports."""
+        return (
+            f"plan optimizer: {self.steps_before}->{self.steps_after} steps "
+            f"({self.hoisted_steps} hoisted, {self.fused_steps} fused), "
+            f"{self.specialized_contractions}/{self.einsum_steps} matmul-"
+            f"specialized, {self.elided_buffers} elided, "
+            f"{self.wave_count} waves, "
+            f"{self.arena_bytes_saved} arena bytes saved"
+        )
+
+    def render(self) -> str:
+        """Multi-line report for the ``plan-stats`` CLI."""
+        lines = [
+            f"steps:            {self.steps_before} -> {self.steps_after}",
+            f"  hoisted (run once per weight-set): {self.hoisted_steps}",
+            f"  fused into consumers:              {self.fused_steps}",
+            f"contractions specialized to matmul:  "
+            f"{self.specialized_contractions}/{self.einsum_steps}",
+            f"in-place elisions: {self.elided_buffers} buffers "
+            f"({self.elided_bytes} bytes merged)",
+            f"waves:             {self.wave_count} "
+            f"({self.parallel_waves} parallel-eligible)",
+            f"arena workspace:   {self.workspace_before} -> "
+            f"{self.workspace_after} bytes "
+            f"({self.arena_bytes_saved} saved)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanOptimization:
+    """The static result of the pass pipeline over one program.
+
+    Everything here is computed without materialising any evaluation grid,
+    so it also serves ``repro lint`` at paper scale; the runtime closures
+    are built from it by :func:`optimize_plan`.
+    """
+
+    program: TEProgram
+    hoisted_nodes: List[TENode]
+    hoist_roots: List[Tensor]        # weight placeholders feeding the hoist
+    hoist_boundary: List[Tensor]     # hoisted tensors read by live steps
+    groups: List[StepGroup]          # optimized steps, execution order
+    elided: Dict[int, Tensor]        # group position -> operand reused
+    waves: Optional[List[List[int]]]  # group positions per sub-wave
+    memory_plan: MemoryPlan
+    inplace_pairs: Set[Tuple[int, int]]  # (writer tensor id, operand id)
+    step_view: ProgramView
+    stats: OptimizeStats = field(default_factory=OptimizeStats)
+
+
+# ---- static pass pipeline ---------------------------------------------------
+
+
+def plan_optimization(
+    program: TEProgram,
+    sizer: Optional[Callable[[Tensor], int]] = None,
+    batch_size: Optional[int] = None,
+    hoist: bool = True,
+    fuse: bool = True,
+    elide: bool = True,
+    waves: bool = True,
+) -> PlanOptimization:
+    """Run the static passes over one TE program.
+
+    ``sizer`` must match the executor that will consume the layout (the
+    default is the executor's float64 sizing with ``batch_size`` lanes).
+    The per-pass flags exist for targeted tests and ablation; production
+    callers leave them on.
+    """
+    if sizer is None:
+        from repro.runtime.executor import EXEC_ITEMSIZE
+
+        lanes = 1 if batch_size is None else batch_size
+        sizer = lambda t: lanes * t.num_elements * EXEC_ITEMSIZE  # noqa: E731
+
+    nodes = program.nodes
+    kinds = {n.index: step_kind(n.tensor) for n in nodes}
+    stats = OptimizeStats(steps_before=len(nodes))
+    stats.einsum_steps = sum(1 for k in kinds.values() if k == "einsum")
+    stats.workspace_before = plan_memory(
+        program, sizer=sizer, exclusive_writes=True
+    ).workspace_bytes
+
+    # ---- pass 1: weight-subgraph hoisting -------------------------------
+    hoisted_ids: Set[int] = set()
+    hoisted_nodes: List[TENode] = []
+    if hoist:
+        const_ids = {
+            id(t) for t in program.inputs
+            if getattr(t, "role", "input") == "weight"
+        }
+        for node in nodes:
+            if program.is_output(node.tensor):
+                continue
+            if all(
+                id(d) in const_ids or id(d) in hoisted_ids
+                for d in node.inputs
+            ):
+                hoisted_ids.add(id(node.tensor))
+                hoisted_nodes.append(node)
+    read_by_hoisted = {
+        id(d) for n in hoisted_nodes for d in n.inputs
+    }
+    hoist_roots = [t for t in program.inputs if id(t) in read_by_hoisted]
+    hoist_boundary = [
+        n.tensor for n in hoisted_nodes
+        if any(
+            id(c.tensor) not in hoisted_ids
+            for c in program.consumers(n.tensor)
+        )
+    ]
+    stats.hoisted_steps = len(hoisted_nodes)
+
+    # ---- pass 2: vertical step fusion -----------------------------------
+    surviving = [n for n in nodes if id(n.tensor) not in hoisted_ids]
+    inline_into: Dict[int, int] = {}  # node index -> consumer node index
+    if fuse:
+        for node in surviving:
+            if kinds[node.index] != "map":
+                continue
+            if program.is_output(node.tensor):
+                continue
+            consumers = program.consumers(node.tensor)
+            if len(consumers) != 1:
+                continue
+            consumer = consumers[0]
+            if id(consumer.tensor) in hoisted_ids:
+                continue
+            if kinds[consumer.index] != "map":
+                continue
+            if not _identity_reads_only(consumer, node.tensor):
+                continue
+            inline_into[node.index] = consumer.index
+    stats.fused_steps = len(inline_into)
+
+    root_memo: Dict[int, int] = {}
+
+    def find_terminal(index: int) -> int:
+        seen = []
+        while index in inline_into and index not in root_memo:
+            seen.append(index)
+            index = inline_into[index]
+        root = root_memo.get(index, index)
+        for s in seen:
+            root_memo[s] = root
+        return root
+
+    members_of: Dict[int, List[TENode]] = {}
+    for node in surviving:
+        members_of.setdefault(find_terminal(node.index), []).append(node)
+
+    groups: List[StepGroup] = []
+    node_by_index = {n.index: n for n in nodes}
+    for terminal_index in sorted(members_of):
+        members = members_of[terminal_index]  # program order by insertion
+        member_ids = {id(m.tensor) for m in members}
+        reads: List[Tensor] = []
+        seen_reads: Set[int] = set()
+        for member in members:
+            for t in member.inputs:
+                if id(t) in member_ids or id(t) in seen_reads:
+                    continue
+                seen_reads.add(id(t))
+                reads.append(t)
+        groups.append(StepGroup(
+            position=len(groups),
+            members=members,
+            terminal=node_by_index[terminal_index],
+            reads=reads,
+        ))
+    stats.steps_after = len(groups)
+
+    # ---- pass 4 (ordering half): levelise into dependency waves ---------
+    # Waves fix the *execution order* the repacker must model, so the
+    # levelisation runs before elision/packing; the byte-conflict sub-wave
+    # split below needs the final layout and runs after.
+    producer_group: Dict[int, int] = {
+        id(g.terminal.tensor): g.position for g in groups
+    }
+    deps: List[List[int]] = []
+    for g in groups:
+        deps.append(sorted({
+            producer_group[id(t)] for t in g.reads
+            if id(t) in producer_group
+        }))
+    if waves:
+        level: List[int] = [0] * len(groups)
+        for g in groups:
+            level[g.position] = 1 + max(
+                (level[d] for d in deps[g.position]), default=-1
+            )
+        by_level: Dict[int, List[int]] = {}
+        for g in groups:
+            by_level.setdefault(level[g.position], []).append(g.position)
+        execution_order = [
+            pos for lvl in sorted(by_level) for pos in by_level[lvl]
+        ]
+        level_waves: List[List[int]] = [
+            by_level[lvl] for lvl in sorted(by_level)
+        ]
+    else:
+        execution_order = list(range(len(groups)))
+        level_waves = []
+
+    # Renumber positions to execution order: packing liveness, the step
+    # view and the executor's step list all use these positions, so the
+    # replayed order and the modelled order can never drift apart.
+    reordered: List[StepGroup] = []
+    for new_pos, old_pos in enumerate(execution_order):
+        group = groups[old_pos]
+        group.position = new_pos
+        reordered.append(group)
+    groups = reordered
+    if waves:
+        # Positions were renumbered to execution order, under which each
+        # wave occupies a contiguous, increasing run.
+        old_to_new = {old: new for new, old in enumerate(execution_order)}
+        level_waves = [
+            sorted(old_to_new[old] for old in wave) for wave in level_waves
+        ]
+
+    # ---- pass 3: in-place elision ---------------------------------------
+    elided: Dict[int, Tensor] = {}
+    if elide:
+        for g in groups:
+            if kinds[g.terminal.index] != "map":
+                continue
+            out = g.terminal.tensor
+            if program.is_output(out):
+                continue
+            out_bytes = _align(sizer(out))
+            member_nodes = set(g.members)
+            for t in g.reads:
+                if program.producer(t) is None:
+                    continue
+                if id(t) in hoisted_ids:
+                    continue  # cached across requests; never overwrite
+                if program.is_output(t):
+                    continue
+                if any(c not in member_nodes
+                       for c in program.consumers(t)):
+                    continue  # still read by another step
+                if _align(sizer(t)) != out_bytes:
+                    continue
+                elided[g.position] = t
+                break
+
+    # ---- repack the arena over optimized positions ----------------------
+    packable = [
+        g for g in groups if not program.is_output(g.terminal.tensor)
+    ]
+    def_pos = {id(g.terminal.tensor): g.position for g in groups}
+    last_pos: Dict[int, int] = {}
+    for g in groups:
+        for t in g.reads:
+            key = id(t)
+            last_pos[key] = max(last_pos.get(key, g.position), g.position)
+    lives: Dict[int, LiveRange] = {}
+    for g in packable:
+        t = g.terminal.tensor
+        d = def_pos[id(t)]
+        lives[id(t)] = LiveRange(t, d, max(last_pos.get(id(t), d), d))
+
+    def pack(merge: Dict[int, Tensor]) -> Tuple[Dict[int, int], int]:
+        """Pack, with elision pairs sharing one offset; offsets by id."""
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        for pos, operand in merge.items():
+            a = find(id(groups[pos].terminal.tensor))
+            b = find(id(operand))
+            if a != b:
+                parent[a] = b
+        clusters: Dict[int, List[Tensor]] = {}
+        for g in packable:
+            t = g.terminal.tensor
+            clusters.setdefault(find(id(t)), []).append(t)
+        keys = list(clusters)
+        items: List[Tuple[int, LiveRange]] = []
+        for key in keys:
+            tensors = clusters[key]
+            nbytes = max(_align(sizer(t)) for t in tensors)
+            lo = min(lives[id(t)].def_index for t in tensors)
+            hi = max(lives[id(t)].last_use for t in tensors)
+            items.append((nbytes, LiveRange(tensors[0], lo, hi)))
+        offsets, workspace = pack_intervals(items, exclusive_writes=True)
+        by_id: Dict[int, int] = {}
+        for key, offset in zip(keys, offsets):
+            for t in clusters[key]:
+                by_id[id(t)] = offset
+        return by_id, workspace
+
+    offsets_plain, workspace_plain = pack({})
+    if elided:
+        offsets_merged, workspace_merged = pack(elided)
+        if workspace_merged < workspace_plain:
+            offsets, workspace = offsets_merged, workspace_merged
+        else:
+            # Elision that fails to shrink the arena is dropped, making
+            # "workspace strictly decreases when any elision fires" an
+            # invariant rather than a hope.
+            elided = {}
+            offsets, workspace = offsets_plain, workspace_plain
+    else:
+        offsets, workspace = offsets_plain, workspace_plain
+    if elided:
+        assert workspace < workspace_plain, (
+            "elision fired without strictly shrinking the workspace"
+        )
+
+    memory_plan = MemoryPlan(exclusive_writes=False)
+    for g in packable:
+        t = g.terminal.tensor
+        memory_plan.assignments[t] = BufferAssignment(
+            t, offsets[id(t)], _align(sizer(t)), lives[id(t)]
+        )
+    memory_plan.workspace_bytes = workspace
+    memory_plan.unshared_bytes = sum(
+        _align(sizer(g.terminal.tensor)) for g in packable
+    )
+    stats.elided_buffers = len(elided)
+    stats.elided_bytes = sum(_align(sizer(t)) for t in elided.values())
+    stats.workspace_after = workspace
+
+    # ---- pass 4 (conflict half): split waves on byte overlap ------------
+    byte_range = {
+        id(t): (a.offset, a.offset + a.nbytes)
+        for t, a in memory_plan.assignments.items()
+    }
+
+    def ranges_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+        return a[0] < b[1] and b[0] < a[1]
+
+    def conflicts(p: StepGroup, q: StepGroup) -> bool:
+        wp = byte_range.get(id(p.terminal.tensor))
+        wq = byte_range.get(id(q.terminal.tensor))
+        for write, other in ((wp, q), (wq, p)):
+            if write is None:
+                continue
+            for t in other.reads:
+                r = byte_range.get(id(t))
+                if r is not None and ranges_overlap(write, r):
+                    return True
+        return wp is not None and wq is not None and ranges_overlap(wp, wq)
+
+    final_waves: Optional[List[List[int]]] = None
+    if waves:
+        final_waves = []
+        for wave in level_waves:
+            current = [wave[0]]
+            for pos in wave[1:]:
+                if any(conflicts(groups[pos], groups[prev])
+                       for prev in current):
+                    # A new sub-wave preserves position order between
+                    # byte-conflicting steps (positions only ever grow
+                    # within a wave), so packing stays sound.
+                    final_waves.append(current)
+                    current = [pos]
+                else:
+                    current.append(pos)
+            final_waves.append(current)
+    stats.wave_count = (
+        len(final_waves) if final_waves is not None else len(groups)
+    )
+
+    # ---- verifier view ---------------------------------------------------
+    view_nodes = [
+        _StepNode(g.position, g.terminal.tensor, g.name, list(g.reads))
+        for g in groups
+    ]
+    step_view = ProgramView(
+        name=f"{program.name}+opt",
+        inputs=list(program.inputs) + list(hoist_boundary),
+        nodes=view_nodes,
+        outputs=list(program.outputs),
+    )
+    inplace_pairs = {
+        (id(groups[pos].terminal.tensor), id(t))
+        for pos, t in elided.items()
+    }
+
+    return PlanOptimization(
+        program=program,
+        hoisted_nodes=hoisted_nodes,
+        hoist_roots=hoist_roots,
+        hoist_boundary=hoist_boundary,
+        groups=groups,
+        elided=elided,
+        waves=final_waves,
+        memory_plan=memory_plan,
+        inplace_pairs=inplace_pairs,
+        step_view=step_view,
+        stats=stats,
+    )
+
+
+# ---- runtime application ----------------------------------------------------
+
+
+def _make_fused_run(
+    interiors: Tuple[Tuple[int, Callable, Tuple[int, ...]], ...],
+    terminal_run: Callable,
+) -> Callable:
+    """Compose interior value closures with the terminal's arena write.
+
+    Interior values are broadcast *views* of the producer's compiled value
+    function — never copied into the arena. Every consumer inside the group
+    is a ``map`` body (elementwise ufuncs, gathers, selects), all of which
+    read broadcast views bit-identically to contiguous arrays.
+    """
+
+    def run_fused(v, interiors=interiors, terminal_run=terminal_run):
+        for key, fn, shape in interiors:
+            v[key] = np.broadcast_to(fn(v), shape)
+        terminal_run(v)
+
+    return run_fused
+
+
+def _specialize_contraction(plan, tensor: Tensor, step) -> Optional[Callable]:
+    """A ``np.matmul(..., out=view)`` replacement for one einsum step.
+
+    Only natural GEMM shapes qualify (single contracted letter, disjoint
+    free letters, output = lhs-free then rhs-free); the candidate is then
+    differentially checked against the original einsum closure on random
+    operands at the step's exact shapes — contiguous and, for batched
+    plans, zero-stride broadcast variants (the weight-feed layout). Any bit
+    mismatch keeps the einsum closure, so adoption can only preserve
+    results.
+    """
+    pattern = match_matmul(tensor)
+    if pattern is None:
+        return None
+    ls, rs, os = pattern.lhs_spec, pattern.rhs_spec, pattern.out_spec
+    if any(len(set(s)) != len(s) for s in (ls, rs, os)):
+        return None  # diagonal reads: not a matmul shape
+    contracted = [c for c in ls if c in rs and c not in os]
+    if len(contracted) != 1:
+        return None
+    k = contracted[0]
+    # Letters shared by both operands *and* the output are stacked batch
+    # dims (np.matmul broadcasts leading axes); output-order prefix only.
+    batch = [c for c in os if c in ls and c in rs]
+    free_l = [c for c in ls if c != k and c not in batch]
+    free_r = [c for c in rs if c != k and c not in batch]
+    if set(free_l) & set(free_r):
+        return None
+    if os != "".join(batch + free_l + free_r):
+        return None
+    if set(ls) != set(batch) | set(free_l) | {k}:
+        return None  # a letter summed outside the contraction
+    if set(rs) != set(batch) | set(free_r) | {k}:
+        return None
+    plan_batched = plan.batch_size is not None
+    if batch or plan_batched:
+        # Leading batch axes must broadcast 1:1, so the cores are 2-D.
+        if len(free_l) > 1 or len(free_r) > 1:
+            return None
+    elif len(free_r) > 1:
+        return None  # multi-dim lhs is fine against a 2-D rhs, not this
+    lperm = tuple(ls.index(c) for c in batch + free_l + [k])
+    rperm = tuple(rs.index(c) for c in batch + [k] + free_r)
+    if plan_batched:
+        lperm = (0,) + tuple(1 + i for i in lperm)
+        rperm = (0,) + tuple(1 + i for i in rperm)
+    identity_l = lperm == tuple(range(len(lperm)))
+    identity_r = rperm == tuple(range(len(rperm)))
+    # Empty free sides (e.g. row-wise dot products "ij,ij->i") pad a unit
+    # core dim; the output view is then reshaped (contiguous, no copy) to
+    # the matmul result shape.
+    pad_l = not free_l
+    pad_r = not free_r
+
+    def extent(spec: str, shape, c: str) -> int:
+        return shape[spec.index(c)]
+
+    lhs_shape = tuple(pattern.lhs.shape)
+    rhs_shape = tuple(pattern.rhs.shape)
+    mm_shape = (
+        tuple(extent(ls, lhs_shape, c) for c in batch)
+        + ((1,) if pad_l else
+           tuple(extent(ls, lhs_shape, c) for c in free_l))
+        + ((1,) if pad_r else
+           tuple(extent(rs, rhs_shape, c) for c in free_r))
+    )
+    mm_shape = plan._batched_shape(mm_shape)
+    reshape_out = mm_shape if (pad_l or pad_r) else None
+    lk, rk, key = id(pattern.lhs), id(pattern.rhs), id(tensor)
+
+    def run_matmul(
+        v, lk=lk, rk=rk, key=key, lperm=lperm, rperm=rperm,
+        il=identity_l, ir=identity_r, pl=pad_l, pr=pad_r,
+        reshape_out=reshape_out,
+    ):
+        a = v[lk]
+        b = v[rk]
+        if not il:
+            a = a.transpose(lperm)
+        if not ir:
+            b = b.transpose(rperm)
+        if pl:
+            a = a[..., None, :]
+        if pr:
+            b = b[..., None]
+        out = v[key]
+        if reshape_out is not None:
+            out = out.reshape(reshape_out)
+        np.matmul(a, b, out=out)
+
+    from repro.runtime.executor import EXEC_DTYPE
+
+    lhs_full = plan._batched_shape(lhs_shape)
+    rhs_full = plan._batched_shape(rhs_shape)
+    out_shape = plan._batched_shape(tuple(tensor.shape))
+    rng = np.random.default_rng(0x50FF1E)
+    lhs_c = np.ascontiguousarray(
+        rng.standard_normal(lhs_full), dtype=EXEC_DTYPE
+    )
+    rhs_c = np.ascontiguousarray(
+        rng.standard_normal(rhs_full), dtype=EXEC_DTYPE
+    )
+    variants = [(lhs_c, rhs_c)]
+    if plan_batched:
+        # Weights bound once per batch arrive as zero-stride broadcast
+        # views; the check must cover those stride patterns too.
+        lhs_b = np.broadcast_to(lhs_c[0], lhs_full)
+        rhs_b = np.broadcast_to(rhs_c[0], rhs_full)
+        variants += [(lhs_b, rhs_c), (lhs_c, rhs_b), (lhs_b, rhs_b)]
+    for a, b in variants:
+        want = np.empty(out_shape, dtype=EXEC_DTYPE)
+        got = np.empty(out_shape, dtype=EXEC_DTYPE)
+        step.run({lk: a, rk: b, key: want})
+        run_matmul({lk: a, rk: b, key: got})
+        if want.tobytes() != got.tobytes():
+            return None
+    return run_matmul
+
+
+def optimize_plan(plan, opt: Optional[PlanOptimization] = None):
+    """Apply the pass pipeline to a built :class:`ExecutionPlan` in place.
+
+    Rewrites ``plan.steps`` and ``plan.memory_plan``, installs the hoist
+    cache and wave schedule, and re-validates the rewritten layout through
+    the verifier's arena-hazard pass (in-place pairs allowlisted). Raises
+    :class:`~repro.errors.PlanningError` on an unsafe optimized layout.
+    """
+    from repro.runtime.executor import PlanStep
+    from repro.verify import Severity, verify_plan
+
+    if opt is None:
+        opt = plan_optimization(
+            plan.program, sizer=plan._sizer, batch_size=plan.batch_size
+        )
+
+    base_steps = plan.steps  # indexed by original node index
+
+    hoist_steps = [
+        (base_steps[n.index], plan._batched_shape(tuple(n.tensor.shape)))
+        for n in opt.hoisted_nodes
+    ]
+
+    new_steps: List[PlanStep] = []
+    for g in opt.groups:
+        terminal_step = base_steps[g.terminal.index]
+        if len(g.members) == 1:
+            step = PlanStep(
+                g.position, terminal_step.name, terminal_step.kind,
+                terminal_step.key, terminal_step.run,
+                value_fn=terminal_step.value_fn,
+            )
+        else:
+            interiors = tuple(
+                (
+                    base_steps[m.index].key,
+                    base_steps[m.index].value_fn,
+                    plan._batched_shape(tuple(m.tensor.shape)),
+                )
+                for m in g.members[:-1]
+            )
+            if any(fn is None for _, fn, _ in interiors):
+                raise PlanningError(
+                    f"fused group {g.name} has a member without a value "
+                    "closure (only map steps are fuseable)"
+                )
+            step = PlanStep(
+                g.position, g.name, "fused", terminal_step.key,
+                _make_fused_run(interiors, terminal_step.run),
+            )
+        new_steps.append(step)
+
+    specialized = 0
+    for g in opt.groups:
+        step = new_steps[g.position]
+        if step.kind != "einsum":
+            continue
+        matmul_run = _specialize_contraction(plan, g.terminal.tensor, step)
+        if matmul_run is not None:
+            step.run = matmul_run
+            step.kind = "matmul"
+            specialized += 1
+    opt.stats.specialized_contractions = specialized
+
+    wave_schedule = None
+    if opt.waves is not None and len(opt.waves) < len(opt.groups):
+        lanes = 1 if plan.batch_size is None else plan.batch_size
+        wave_schedule = []
+        for wave in opt.waves:
+            work = min(
+                sum(lanes * m.tensor.num_elements
+                    for m in opt.groups[pos].members)
+                for pos in wave
+            )
+            parallel = (
+                len(wave) >= 2 and work >= PARALLEL_MIN_WAVE_ELEMENTS
+            )
+            wave_schedule.append((tuple(wave), parallel))
+        opt.stats.parallel_waves = sum(
+            1 for _, parallel in wave_schedule if parallel
+        )
+
+    opt.memory_plan.validate()
+    report = verify_plan(
+        opt.step_view,
+        opt.memory_plan,
+        sizer=plan._sizer,
+        require_exclusive_writes=True,
+        inplace=opt.inplace_pairs,
+    )
+    if report.has_errors:
+        raise PlanningError(
+            "unsafe optimized arena layout:\n"
+            + report.render(min_severity=Severity.ERROR)
+        )
+
+    plan.steps = new_steps
+    plan.memory_plan = opt.memory_plan
+    plan.waves = wave_schedule
+    plan._wave_pool = WAVE_POOL if wave_schedule is not None else None
+    plan._hoist_steps = hoist_steps
+    plan._hoist_roots = list(opt.hoist_roots)
+    plan._hoist_boundary_ids = [id(t) for t in opt.hoist_boundary]
+    plan._hoist_input_ids = [id(t) for t in opt.hoist_roots]
+    plan.optimization = opt
+    return opt

@@ -129,8 +129,8 @@ class StepTiming:
     """Accumulated wall time of one execution-plan step."""
 
     index: int
-    name: str
-    kind: str           # einsum | map | reduce | const
+    name: str           # fused steps: "+"-joined constituent TE names
+    kind: str           # einsum | matmul | map | reduce | const | fused
     calls: int
     total_seconds: float
 
@@ -195,6 +195,8 @@ class ExecutionProfile:
     p95_us: float = 0.0
     p99_us: float = 0.0
     batching: Optional[BatchStats] = None
+    # One-line plan-optimizer summary (None for unoptimized plans).
+    optimizer_summary: Optional[str] = None
 
     @property
     def requests_per_second(self) -> float:
@@ -222,18 +224,25 @@ class ExecutionProfile:
         ]
         if self.batching is not None:
             lines.append(self.batching.render())
+        if self.optimizer_summary is not None:
+            lines.append(self.optimizer_summary)
         timed = [s for s in self.steps if s.calls > 0]
         if not timed:
             lines.append("(per-step timing disabled; profile=True to enable)")
             return "\n".join(lines)
         step_total = sum(s.total_seconds for s in timed) or 1e-12
+        shown = sorted(timed, key=lambda s: -s.total_seconds)[:top]
+        # Fused step names concatenate their constituent TEs and routinely
+        # exceed any fixed column; size the column to what is shown instead
+        # of truncating attribution away.
+        width = max(36, *(len(s.name) for s in shown))
         lines.append(
-            f"{'step':36s} {'kind':>7s} {'calls':>7s} {'mean us':>9s} "
+            f"{'step':{width}s} {'kind':>7s} {'calls':>7s} {'mean us':>9s} "
             f"{'%':>6s}"
         )
-        for s in sorted(timed, key=lambda s: -s.total_seconds)[:top]:
+        for s in shown:
             lines.append(
-                f"{s.name[:36]:36s} {s.kind:>7s} {s.calls:7d} "
+                f"{s.name:{width}s} {s.kind:>7s} {s.calls:7d} "
                 f"{s.mean_us:9.2f} {s.total_seconds / step_total * 100:6.1f}"
             )
         return "\n".join(lines)

@@ -79,9 +79,17 @@ class InferenceSession:
         max_pool: int = DEFAULT_MAX_POOL,
         batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
+        optimize: bool = True,
     ) -> None:
         self.name = name if name is not None else program.name
-        self.plan = plan if plan is not None else ExecutionPlan(program)
+        # Serving defaults to optimized plans (the pass pipeline is proven
+        # bit-identical at plan time); ``optimize=False`` serves the plain
+        # lowering, and an explicit ``plan`` is used as-is either way.
+        self.optimize = optimize
+        self.plan = (
+            plan if plan is not None
+            else ExecutionPlan(program, optimize=optimize)
+        )
         self.profile = profile
         if max_pool < 1:
             raise ExecutionError(f"max_pool must be >= 1, got {max_pool}")
@@ -174,7 +182,9 @@ class InferenceSession:
         with self._lock:
             plan = self._batched_plans.get(bucket)
         if plan is None:
-            built = BatchedExecutionPlan(self.plan.program, bucket)
+            built = BatchedExecutionPlan(
+                self.plan.program, bucket, optimize=self.optimize
+            )
             with self._lock:
                 plan = self._batched_plans.setdefault(bucket, built)
         return plan
@@ -384,6 +394,7 @@ class InferenceSession:
                     batched_requests=self.batched_requests,
                     mean_occupancy=self._occupancy_sum / self.batches_executed,
                 )
+            optimization = self.plan.optimization
             return ExecutionProfile(
                 session_name=self.name,
                 requests=self.request_count,
@@ -395,6 +406,10 @@ class InferenceSession:
                 p95_us=percentiles["p95"] * 1e6,
                 p99_us=percentiles["p99"] * 1e6,
                 batching=batching,
+                optimizer_summary=(
+                    optimization.stats.summary()
+                    if optimization is not None else None
+                ),
             )
 
     def __repr__(self) -> str:

@@ -90,6 +90,7 @@ class Tensor:
         dtype: str = "float32",
         name: Optional[str] = None,
         op: Optional[ComputeOp] = None,
+        role: str = "input",
     ) -> None:
         if not shape:
             raise TEError("tensors must have at least one dimension")
@@ -101,6 +102,10 @@ class Tensor:
         self.dtype = dtype
         self.name = name if name is not None else _fresh_name("t")
         self.op = op
+        # Placeholders only: "weight" marks a session-bound constant (fed
+        # identically across requests), "input" a per-request feed. The plan
+        # optimizer's hoisting pass treats weight-only subgraphs as foldable.
+        self.role = role
 
     @property
     def is_placeholder(self) -> bool:
@@ -132,10 +137,19 @@ class Tensor:
 
 
 def placeholder(
-    shape: Sequence[int], dtype: str = "float32", name: Optional[str] = None
+    shape: Sequence[int],
+    dtype: str = "float32",
+    name: Optional[str] = None,
+    role: str = "input",
 ) -> Tensor:
-    """Declare a graph input or weight tensor."""
-    return Tensor(shape, dtype=dtype, name=name)
+    """Declare a graph input or weight tensor.
+
+    ``role="weight"`` marks the placeholder as a session-bound constant —
+    the same array is fed on every request — which lets the runtime plan
+    optimizer hoist subgraphs depending only on weights out of the
+    per-request step list.
+    """
+    return Tensor(shape, dtype=dtype, name=name, role=role)
 
 
 def reduce_axis(dom: Tuple[int, int], name: Optional[str] = None) -> IterVar:

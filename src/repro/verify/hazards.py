@@ -21,7 +21,7 @@ time and raises :class:`~repro.errors.PlanningError` from its errors.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.liveness import LiveRange
 from repro.runtime.memory_planner import MemoryPlan, _conflicts
@@ -65,6 +65,7 @@ def check_arena(
     plan: MemoryPlan,
     sizer: Optional[Sizer] = None,
     require_exclusive_writes: bool = True,
+    inplace: Optional[Iterable[Tuple[int, int]]] = None,
 ) -> List[Diagnostic]:
     """Run the arena-hazard pass for one program + memory plan.
 
@@ -73,9 +74,18 @@ def check_arena(
     operand/result overlap is an error even if the plan itself was packed
     with relaxed (GPU in-place) rules; pass ``False`` to model a backend
     that tolerates in-place reuse, which downgrades those to warnings.
+
+    ``inplace`` is an allowlist of ``(writer tensor id, operand tensor id)``
+    pairs for which operand/result sharing is *deliberate* — the plan
+    optimizer's in-place elision, where the step fully evaluates its value
+    into temporaries before the final arena write and the operand dies at
+    that step. Allowlisted pairs skip the WAR check and use relaxed
+    (boundary-exclusive) overlap in the pairwise check; all other hazards
+    still fire.
     """
     view = as_view(program)
     diags: List[Diagnostic] = []
+    allow = frozenset(inplace) if inplace else frozenset()
 
     byte_range: Dict[int, Tuple[int, int]] = {}
     assignment_of = {id(t): a for t, a in plan.assignments.items()}
@@ -135,6 +145,8 @@ def check_arena(
             in_range = byte_range.get(id(operand))
             if in_range is None or operand is node.tensor:
                 continue
+            if (id(node.tensor), id(operand)) in allow:
+                continue
             if out_range[0] < in_range[1] and in_range[0] < out_range[1]:
                 loc = Location("step", node.name, f"step {node.index}")
                 message = (
@@ -167,8 +179,13 @@ def check_arena(
             if not (ra[0] < rb[1] and rb[0] < ra[1]):
                 continue
             live_b = fresh.get(id(tensor_b), b.live)
-            if _conflicts(live_a, live_b, plan.exclusive_writes
-                          or require_exclusive_writes):
+            if ((id(tensor_a), id(tensor_b)) in allow
+                    or (id(tensor_b), id(tensor_a)) in allow):
+                conflict = live_a.overlaps(live_b)
+            else:
+                conflict = _conflicts(live_a, live_b, plan.exclusive_writes
+                                      or require_exclusive_writes)
+            if conflict:
                 first, second = (
                     (tensor_a, tensor_b)
                     if live_a.def_index <= live_b.def_index

@@ -14,7 +14,7 @@ Three entry points at three layers of the system:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import VerificationError
 from repro.runtime.memory_planner import MemoryPlan
@@ -54,14 +54,20 @@ def verify_plan(
     sizer: Optional[Callable[[Tensor], int]] = None,
     require_exclusive_writes: bool = True,
     subject: Optional[str] = None,
+    inplace: Optional[Iterable[Tuple[int, int]]] = None,
 ) -> VerifyReport:
-    """Run the arena-hazard pass for one program + memory plan."""
+    """Run the arena-hazard pass for one program + memory plan.
+
+    ``inplace`` allowlists deliberate (writer, operand) in-place pairs —
+    see :func:`repro.verify.hazards.check_arena`.
+    """
     view = as_view(program)
     report = VerifyReport(subject=subject or view.name)
     report.passes_run = [PASS_ARENA_HAZARD]
     report.extend(check_arena(
         view, plan, sizer=sizer,
         require_exclusive_writes=require_exclusive_writes,
+        inplace=inplace,
     ))
     return report
 
@@ -71,8 +77,11 @@ def verify_module(module, plan_hazards: bool = True) -> VerifyReport:
 
     Runs the program passes, the sync-safety pass over the built kernels,
     and — with ``plan_hazards`` — plans the serving arena for the final
-    program and runs the hazard pass over it. Planning here is static (no
-    grids are materialised), so paper-scale models lint fine.
+    program and runs the hazard pass over it, then repeats the hazard pass
+    over the *plan-optimizer's* rewritten step list and repacked arena
+    (fusion, elision, wave ordering), with the optimizer's deliberate
+    in-place pairs allowlisted. Planning here is static (no grids are
+    materialised), so paper-scale models lint fine.
     """
     from repro.runtime.memory_planner import plan_memory
 
@@ -83,6 +92,18 @@ def verify_module(module, plan_hazards: bool = True) -> VerifyReport:
     if plan_hazards and report.clean:
         plan = plan_memory(program, exclusive_writes=True)
         report.merge(verify_plan(program, plan, subject=module.name))
+        if report.clean:
+            # Imported lazily: plan_opt sits above the runtime layer and
+            # itself imports the verifier.
+            from repro.runtime.plan_opt import plan_optimization
+
+            opt = plan_optimization(program)
+            report.merge(verify_plan(
+                opt.step_view,
+                opt.memory_plan,
+                inplace=opt.inplace_pairs,
+                subject=f"{module.name} (optimized plan)",
+            ))
     else:
         report.passes_run.append(PASS_ARENA_HAZARD)
     return report

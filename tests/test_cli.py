@@ -61,6 +61,24 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["serve-bench", "alexnet"])
 
+    def test_plan_stats_mmoe(self, capsys):
+        assert main(["plan-stats", "mmoe"]) == 0
+        out = capsys.readouterr().out
+        assert "plan optimizer: mmoe_tiny" in out
+        assert "steps:" in out and "waves:" in out
+        assert "matmul" in out  # tiny scale reports specialization too
+
+    def test_plan_stats_batched_paper_scale(self, capsys):
+        assert main(["plan-stats", "mmoe", "--scale", "paper",
+                     "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(batch 4)" in out
+        assert "arena workspace:" in out
+
+    def test_plan_stats_unknown_tiny_model(self):
+        with pytest.raises(SystemExit):
+            main(["plan-stats", "alexnet"])
+
     def test_compile_stats_cold_then_warm(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         assert main(["compile-stats", "mmoe", "--cache-dir", cache,

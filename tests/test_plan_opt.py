@@ -1,0 +1,353 @@
+"""Tests for the plan-optimizer pass pipeline (``repro.runtime.plan_opt``).
+
+The contract: an optimized :class:`ExecutionPlan` is *bit-identical* to the
+unoptimized plan on every paper model — unbatched and batched — while
+hoisting weight-only subgraphs out of the request path (Sec. 5.1), fusing
+single-consumer map chains (Sec. 6.2), eliding dead inputs in place
+(Sec. 6.5) and dispatching independent waves in parallel (Sec. 6.1).
+Every pass, in every combination, must also leave a layout the static
+verifier accepts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import TINY_MODELS
+from repro.runtime import plan_opt
+from repro.runtime.executor import BatchedExecutionPlan, ExecutionPlan
+from repro.runtime.plan_opt import optimize_plan, plan_optimization
+from repro.transform import random_feeds
+from repro.verify import verify_plan
+
+from tests.test_verify_property import random_graphs
+
+
+def request_feeds(program, count, seed):
+    return [random_feeds(program, seed=seed + i) for i in range(count)]
+
+
+# ---- whole-model bit-identity ------------------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    def test_optimized_matches_unoptimized(self, name):
+        program = lower_graph(TINY_MODELS[name]())
+        feeds = random_feeds(program, seed=5)
+        baseline = ExecutionPlan(program, optimize=False).run(feeds)
+        optimized = ExecutionPlan(program, optimize=True).run(feeds)
+        assert len(optimized) == len(baseline)
+        for got, want in zip(optimized, baseline):
+            assert got.shape == want.shape
+            assert np.array_equal(got, want), name
+
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    def test_batched_optimized_matches_unoptimized(self, name):
+        program = lower_graph(TINY_MODELS[name]())
+        requests = request_feeds(program, 8, seed=9)
+        baseline = BatchedExecutionPlan(
+            program, batch_size=8, optimize=False
+        ).run_batch(requests)
+        optimized = BatchedExecutionPlan(
+            program, batch_size=8, optimize=True
+        ).run_batch(requests)
+        for lane_base, lane_opt in zip(baseline, optimized):
+            for want, got in zip(lane_base, lane_opt):
+                assert np.array_equal(got, want), name
+
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    def test_replay_is_stable(self, name):
+        """Elision makes steps overwrite their inputs; a second replay of
+        the same arena must still be exact (no state leaks)."""
+        program = lower_graph(TINY_MODELS[name]())
+        plan = ExecutionPlan(program, optimize=True)
+        feeds_a = random_feeds(program, seed=1)
+        feeds_b = random_feeds(program, seed=2)
+        want_a = ExecutionPlan(program, optimize=False).run(feeds_a)
+        plan.run(feeds_b)  # dirty the arena
+        got_a = plan.run(feeds_a)
+        for got, want in zip(got_a, want_a):
+            assert np.array_equal(got, want), name
+
+
+# ---- property: every pass subset stays verifier-clean and exact --------------
+
+
+@st.composite
+def pass_flags(draw):
+    return {
+        "hoist": draw(st.booleans()),
+        "fuse": draw(st.booleans()),
+        "elide": draw(st.booleans()),
+        "waves": draw(st.booleans()),
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), pass_flags())
+def test_every_pass_subset_is_clean_and_exact(graph, flags):
+    program = lower_graph(graph)
+    opt = plan_optimization(program, **flags)
+    report = verify_plan(
+        opt.step_view, opt.memory_plan, inplace=opt.inplace_pairs
+    )
+    assert not report.errors, report.render()
+
+    feeds = random_feeds(program, seed=13)
+    want = ExecutionPlan(program, optimize=False).run(feeds)
+    plan = ExecutionPlan(program, optimize=False)
+    optimize_plan(plan, opt=plan_optimization(program, **flags))
+    got = plan.run(feeds)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+# ---- pass 1: weight-subgraph hoisting ----------------------------------------
+
+
+def hoistable_program():
+    """``x * relu(w1 + w2)``: the add and the relu depend only on weights,
+    so both hoist; the relu output is the hoist boundary."""
+    b = GraphBuilder("hoisty")
+    x = b.input((4, 8), name="x")
+    w1 = b.weight((4, 8), name="w1")
+    w2 = b.weight((4, 8), name="w2")
+    return lower_graph(b.build([b.mul(x, b.relu(b.add(w1, w2)))]))
+
+
+class TestHoisting:
+    def test_weight_subgraph_leaves_the_request_path(self):
+        program = hoistable_program()
+        opt = plan_optimization(program)
+        assert opt.stats.hoisted_steps == 2
+        assert len(opt.hoist_boundary) == 1
+        # Hoisted tensors are dead to the arena: the memory plan must not
+        # assign bytes to them.
+        hoisted = {id(n.tensor) for n in opt.hoisted_nodes}
+        assert not hoisted & set(opt.memory_plan.assignments)
+
+    def test_hoist_cache_hits_on_same_weight_objects(self):
+        program = hoistable_program()
+        plan = ExecutionPlan(program, optimize=True)
+        assert plan._hoist_steps, "expected a hoisted prologue"
+        feeds = random_feeds(program, seed=0)
+        want = ExecutionPlan(program, optimize=False).run(feeds)
+
+        got = plan.run(feeds)
+        assert plan.hoist_evaluations == 1
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+        # Same weight objects again: the cached prologue is reused.
+        plan.run(feeds)
+        assert plan.hoist_evaluations == 1
+
+        # Fresh weight arrays are a new weight-set: recompute once.
+        fresh = {t: np.array(v) for t, v in feeds.items()}
+        plan.run(fresh)
+        assert plan.hoist_evaluations == 2
+        plan.run(fresh)
+        assert plan.hoist_evaluations == 2
+
+    def test_batched_plan_hoists_too(self):
+        program = hoistable_program()
+        plan = BatchedExecutionPlan(program, batch_size=3, optimize=True)
+        requests = request_feeds(program, 3, seed=4)
+        # Weights are normally shared across lanes; share them here.
+        shared = requests[0]
+        requests = [
+            {t: (shared[t] if t.role == "weight" else v)
+             for t, v in feeds.items()}
+            for feeds in requests
+        ]
+        want = BatchedExecutionPlan(
+            program, batch_size=3, optimize=False
+        ).run_batch(requests)
+        got = plan.run_batch(requests)
+        assert plan.hoist_evaluations == 1
+        for lane_w, lane_g in zip(want, got):
+            for w, g in zip(lane_w, lane_g):
+                assert np.array_equal(g, w)
+        plan.run_batch(requests)
+        assert plan.hoist_evaluations == 1
+
+    def test_outputs_never_hoist(self):
+        b = GraphBuilder("wout")
+        w1 = b.weight((4, 4), name="w1")
+        w2 = b.weight((4, 4), name="w2")
+        program = lower_graph(b.build([b.add(w1, w2)]))
+        opt = plan_optimization(program)
+        assert opt.stats.hoisted_steps == 0
+
+
+# ---- pass 2: vertical step fusion --------------------------------------------
+
+
+def map_chain_program():
+    b = GraphBuilder("mapchain")
+    x = b.input((8, 8), name="x")
+    w = b.weight((8, 8), name="w")
+    y = b.matmul(x, w)
+    return lower_graph(b.build([b.tanh(b.sigmoid(b.relu(y)))]))
+
+
+class TestFusion:
+    def test_single_consumer_map_chain_fuses(self):
+        program = map_chain_program()
+        opt = plan_optimization(program, hoist=False, elide=False,
+                                waves=False)
+        assert opt.stats.fused_steps == 2  # relu->sigmoid, sigmoid->tanh
+        names = [g.name for g in opt.groups]
+        assert any("+" in name for name in names), names
+
+    def test_fused_interiors_deleted_from_arena(self):
+        program = map_chain_program()
+        opt = plan_optimization(program, hoist=False, elide=False,
+                                waves=False)
+        interiors = {
+            id(m.tensor)
+            for g in opt.groups
+            for m in g.members
+            if m is not g.terminal
+        }
+        assert interiors
+        assert not interiors & set(opt.memory_plan.assignments)
+
+    def test_fused_step_names_join_members(self):
+        program = map_chain_program()
+        plan = ExecutionPlan(program, optimize=True)
+        fused = [s for s in plan.steps if s.kind == "fused"]
+        assert fused and all("+" in s.name for s in fused)
+
+    def test_multi_consumer_producer_never_fuses(self):
+        b = GraphBuilder("fanout")
+        x = b.input((4, 4), name="x")
+        y = b.relu(x)
+        program = lower_graph(b.build([b.add(b.sigmoid(y), b.tanh(y))]))
+        opt = plan_optimization(program, hoist=False, elide=False,
+                                waves=False)
+        producer = next(
+            n for n in program.nodes if n.tensor.name.startswith("relu")
+        )
+        for g in opt.groups:
+            if producer in g.members:
+                assert g.terminal is producer
+
+
+# ---- pass 3: in-place arena elision ------------------------------------------
+
+
+def elidable_program():
+    """``reduce_sum(relu(matmul(x, w)))``: the relu is a map over an
+    einsum result that dies right there — an in-place candidate."""
+    b = GraphBuilder("elidey")
+    x = b.input((8, 8), name="x")
+    w = b.weight((8, 8), name="w")
+    y = b.relu(b.matmul(x, w))
+    return lower_graph(b.build([b.reduce_sum(y, axes=(1,))]))
+
+
+class TestElision:
+    def test_elision_shrinks_workspace(self):
+        program = elidable_program()
+        with_elide = plan_optimization(program, hoist=False, fuse=False,
+                                       waves=False)
+        without = plan_optimization(program, hoist=False, fuse=False,
+                                    elide=False, waves=False)
+        assert with_elide.stats.elided_buffers > 0
+        assert with_elide.inplace_pairs
+        assert (with_elide.memory_plan.workspace_bytes
+                < without.memory_plan.workspace_bytes)
+
+    def test_elided_plan_is_exact(self):
+        program = elidable_program()
+        feeds = random_feeds(program, seed=2)
+        want = ExecutionPlan(program, optimize=False).run(feeds)
+        got = ExecutionPlan(program, optimize=True).run(feeds)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_non_shrinking_elisions_are_dropped(self):
+        """Whatever the model, an optimization either keeps the plain
+        packing or beats it — elision never grows the arena."""
+        for name in sorted(TINY_MODELS):
+            program = lower_graph(TINY_MODELS[name]())
+            merged = plan_optimization(program)
+            plain = plan_optimization(program, elide=False)
+            if merged.elided:
+                assert (merged.memory_plan.workspace_bytes
+                        < plain.memory_plan.workspace_bytes), name
+            else:
+                assert (merged.memory_plan.workspace_bytes
+                        == plain.memory_plan.workspace_bytes), name
+
+
+# ---- pass 4: parallel wave scheduling ----------------------------------------
+
+
+def branchy_program():
+    b = GraphBuilder("branchy")
+    x = b.input((16, 16), name="x")
+    branches = [b.relu(x), b.sigmoid(x), b.tanh(x), b.exp(x)]
+    out = branches[0]
+    for other in branches[1:]:
+        out = b.add(out, other)
+    return lower_graph(b.build([out]))
+
+
+class TestWaves:
+    def test_independent_steps_share_a_wave(self):
+        program = branchy_program()
+        opt = plan_optimization(program, hoist=False, fuse=False,
+                                elide=False)
+        assert opt.stats.wave_count < len(opt.groups)
+        assert any(len(wave) > 1 for wave in opt.waves)
+
+    def test_parallel_dispatch_is_bit_identical(self, monkeypatch):
+        monkeypatch.setattr(plan_opt, "PARALLEL_MIN_WAVE_ELEMENTS", 0)
+        program = branchy_program()
+        feeds = random_feeds(program, seed=6)
+        want = ExecutionPlan(program, optimize=False).run(feeds)
+        plan = ExecutionPlan(program, optimize=False)
+        # Fusion would collapse this graph to one step; disable it so the
+        # branches stay separate and actually share a dispatchable wave.
+        optimize_plan(plan, opt=plan_optimization(program, fuse=False))
+        assert plan.waves is not None
+        assert any(parallel for _, parallel in plan.waves)
+        for _ in range(3):
+            got = plan.run(feeds)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w)
+
+    def test_small_waves_stay_serial(self):
+        program = branchy_program()
+        plan = ExecutionPlan(program, optimize=True)
+        if plan.waves is not None:
+            assert not any(parallel for _, parallel in plan.waves)
+
+
+# ---- stats and reporting -----------------------------------------------------
+
+
+class TestStats:
+    def test_stats_accounting(self):
+        program = lower_graph(TINY_MODELS["bert"]())
+        plan = ExecutionPlan(program, optimize=True)
+        stats = plan.optimization.stats
+        assert stats.steps_before == len(program.nodes)
+        assert stats.steps_after == len(plan.steps)
+        assert stats.steps_after == (
+            stats.steps_before - stats.hoisted_steps - stats.fused_steps
+        )
+        assert stats.wave_count == len(plan.optimization.waves)
+        assert stats.workspace_after == plan.memory_plan.workspace_bytes
+        assert "->" in stats.summary()
+        assert "waves" in stats.render()
+
+    def test_repr_tags_optimized_plans(self):
+        program = map_chain_program()
+        assert "optimized" in repr(ExecutionPlan(program, optimize=True))
+        assert "optimized" not in repr(ExecutionPlan(program, optimize=False))
