@@ -323,22 +323,36 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
             ExecutionPlan,
         )
 
+        executor = "graph" if args.executor == "graph" else "wave"
         plan = (
-            BatchedExecutionPlan(program, batch, optimize=True)
+            BatchedExecutionPlan(program, batch, optimize=True,
+                                 executor=executor)
             if batch is not None
-            else ExecutionPlan(program, optimize=True)
+            else ExecutionPlan(program, optimize=True, executor=executor)
         )
         stats = plan.optimization.stats
+        graph_stats = (
+            plan.task_graph.stats if plan.task_graph is not None else None
+        )
     else:
         # Paper-scale grids exceed the functional executor's limits; the
         # static planner still reports hoisting/fusion/elision/waves and
-        # the repacked arena.
+        # the repacked arena, and the task-graph shape comes from the
+        # structure-only builder.
         graph = _resolve_model(args.model)
         program = lower_graph(graph)
         stats = plan_optimization(program, batch_size=batch).stats
+        graph_stats = None
+        if args.executor == "graph":
+            from repro.runtime.task_graph import task_graph_stats
+
+            graph_stats = task_graph_stats(program, batch_size=batch)
     suffix = f" (batch {batch})" if batch is not None else ""
     print(f"plan optimizer: {graph.name}{suffix}")
     print(stats.render())
+    if graph_stats is not None:
+        print(f"task graph: {graph.name}{suffix}")
+        print(graph_stats.render())
     return 0
 
 
@@ -452,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=0,
                    help="optimize the batched plan at this batch size "
                         "(0 = unbatched)")
+    p.add_argument("--executor", choices=("wave", "graph"), default="wave",
+                   help="with 'graph', also report the compiled task "
+                        "graph (task count, dependency edges, critical "
+                        "path, max ready-width)")
     p.set_defaults(fn=cmd_plan_stats)
 
     p = sub.add_parser("export", help="export a model to the JSON format")

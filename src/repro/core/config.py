@@ -26,11 +26,17 @@ class SouffleOptions:
     # weight hoisting, in-place elision, wave scheduling). Orthogonal to
     # the V-levels: it rewrites the *runtime* step list, not the TE IR.
     optimize_plans: bool = True
+    # Replay plans through the task-graph scheduler (runtime.task_graph):
+    # one persistent dependency table per plan, workers pulling ready steps
+    # with no per-wave barriers. Off by default; the wave scheduler stays
+    # the reference serving engine.
+    graph_executor: bool = False
 
     @classmethod
     def from_level(cls, level: int, validate: bool = False,
                    verify: bool = False,
-                   optimize_plans: bool = True) -> "SouffleOptions":
+                   optimize_plans: bool = True,
+                   graph_executor: bool = False) -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -42,6 +48,7 @@ class SouffleOptions:
             validate=validate,
             verify=verify,
             optimize_plans=optimize_plans,
+            graph_executor=graph_executor,
         )
 
     @property

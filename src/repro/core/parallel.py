@@ -127,6 +127,24 @@ class WorkerPool:
         for future in futures:
             future.result()
 
+    def submit(self, fn: Callable[..., None], *args) -> Optional[object]:
+        """Fire one task on the persistent executor (``None`` if serial).
+
+        The task-graph executor's helper-worker entry point: helpers are
+        best-effort — a serial pool, a single-CPU box, or a shut-down
+        executor simply returns ``None`` and the caller keeps the work on
+        its own thread. Correctness never depends on a submission landing.
+        """
+        if not self.persistent:
+            return None
+        pool = self._shared_executor()
+        if pool is None:
+            return None
+        try:
+            return pool.submit(fn, *args)
+        except RuntimeError:
+            return None
+
     def close(self) -> None:
         """Shut the persistent executor down (tests / explicit teardown)."""
         with self._executor_lock:

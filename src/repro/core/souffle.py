@@ -250,6 +250,7 @@ class SouffleCompiler:
             device=self.device,
             stats=stats,
             optimize_plans=options.optimize_plans,
+            graph_executor=options.graph_executor,
         )
 
         if cache is not None and cache.modules is not None and mkey is not None:

@@ -329,7 +329,15 @@ class ExecutionPlan:
         program: TEProgram,
         memory_plan: Optional[MemoryPlan] = None,
         optimize: bool = False,
+        executor: str = "wave",
     ) -> None:
+        if executor not in ("wave", "serial", "graph"):
+            raise PlanningError(
+                f"unknown executor {executor!r}; choose 'wave' (default), "
+                "'serial' (flat replay, the differential oracle) or "
+                "'graph' (task-graph scheduler)"
+            )
+        self.executor_kind = executor
         self.program = program
         if memory_plan is None:
             memory_plan = plan_memory(
@@ -364,6 +372,19 @@ class ExecutionPlan:
             from repro.runtime.plan_opt import optimize_plan
 
             optimize_plan(self)
+        # Task-graph executor state: compiled after optimization so the
+        # dependency table covers the *final* steps (fused groups, hoisted
+        # weights already stripped, elision-repacked arena).
+        self.task_graph = None
+        self.graph_executor = None
+        if executor == "graph":
+            from repro.runtime.task_graph import (
+                GraphExecutor,
+                build_task_graph,
+            )
+
+            self.task_graph = build_task_graph(self)
+            self.graph_executor = GraphExecutor(self.task_graph)
         ExecutionPlan.plans_built += 1
 
     # ---- construction ----------------------------------------------------
@@ -607,18 +628,8 @@ class ExecutionPlan:
                 self._hoist_cache[key] = out
         return out
 
-    def execute(
-        self,
-        bound: Values,
-        arena: Arena,
-        step_seconds: Optional[List[float]] = None,
-    ) -> List[np.ndarray]:
-        """Replay the step list once.
-
-        ``bound`` comes from :meth:`bind_feeds`; ``arena`` from
-        :meth:`new_arena`. With ``step_seconds`` (a list of one float per
-        step) each step's wall time is accumulated into it.
-        """
+    def _prepare_values(self, bound: Values, arena: Arena) -> Values:
+        """Per-request values table: arena views, feeds, hoists, outputs."""
         values = dict(arena.views)
         values.update(bound)
         token = values.pop(_HOIST_TOKEN, None)
@@ -626,9 +637,35 @@ class ExecutionPlan:
             values.update(self._hoist_values(token, bound))
         for key, shape in self._output_allocs:
             values[key] = np.empty(shape, dtype=EXEC_DTYPE)
+        return values
 
-        if step_seconds is None:
-            if self.waves is None:
+    def execute(
+        self,
+        bound: Values,
+        arena: Arena,
+        step_seconds: Optional[List[float]] = None,
+        scheduler=None,
+    ) -> List[np.ndarray]:
+        """Replay the step list once.
+
+        ``bound`` comes from :meth:`bind_feeds`; ``arena`` from
+        :meth:`new_arena`. With ``step_seconds`` (a list of one float per
+        step) each step's wall time is accumulated into it. ``scheduler``
+        injects a :class:`~repro.runtime.task_graph.SchedulerPolicy` for
+        this request (graph executor only — the deterministic test hook).
+        """
+        values = self._prepare_values(bound, arena)
+        if self.graph_executor is not None:
+            self.graph_executor.run(
+                values, scheduler=scheduler, step_seconds=step_seconds
+            )
+        elif scheduler is not None:
+            raise ExecutionError(
+                "scheduler injection requires ExecutionPlan("
+                "executor='graph')"
+            )
+        elif step_seconds is None:
+            if self.waves is None or self.executor_kind == "serial":
                 for step in self.steps:
                     step.run(values)
             else:
@@ -652,6 +689,18 @@ class ExecutionPlan:
                 start = perf_counter()
                 step.run(values)
                 step_seconds[i] += perf_counter() - start
+        return [values[key] for key in self._output_keys]
+
+    def execute_serial(self, bound: Values, arena: Arena) -> List[np.ndarray]:
+        """Flat single-threaded replay of the step list.
+
+        The differential oracle for the task-graph executor: identical
+        steps, identical arena, no scheduler — any divergence between this
+        and :meth:`execute` is a scheduling bug by construction.
+        """
+        values = self._prepare_values(bound, arena)
+        for step in self.steps:
+            step.run(values)
         return [values[key] for key in self._output_keys]
 
     def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
@@ -692,6 +741,7 @@ class BatchedExecutionPlan(ExecutionPlan):
         batch_size: int,
         memory_plan: Optional[MemoryPlan] = None,
         optimize: bool = False,
+        executor: str = "wave",
     ) -> None:
         if batch_size < 1:
             raise PlanningError(
@@ -699,7 +749,9 @@ class BatchedExecutionPlan(ExecutionPlan):
             )
         # Set before super().__init__: the sizer and step builders read it.
         self.batch_size = int(batch_size)
-        super().__init__(program, memory_plan, optimize=optimize)
+        super().__init__(
+            program, memory_plan, optimize=optimize, executor=executor
+        )
 
     def bind_batch(
         self, feeds_list: Sequence[Mapping[Tensor, np.ndarray]]

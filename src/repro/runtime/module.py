@@ -123,6 +123,7 @@ class CompiledModule:
         stats: Optional[CompileStats] = None,
         program_loader: Optional[Callable[[], TEProgram]] = None,
         optimize_plans: bool = True,
+        graph_executor: bool = False,
     ) -> None:
         self.name = name
         self.compiler = compiler
@@ -132,8 +133,11 @@ class CompiledModule:
         self._program = program
         self._program_loader = program_loader
         # Whether sessions built from this module serve plan-optimized
-        # execution plans (SouffleOptions.optimize_plans).
+        # execution plans (SouffleOptions.optimize_plans) and whether they
+        # replay through the task-graph scheduler instead of the wave
+        # scheduler (SouffleOptions.graph_executor).
         self.optimize_plans = optimize_plans
+        self.graph_executor = graph_executor
         self._session: Optional["InferenceSession"] = None
 
     # ---- program materialisation ---------------------------------------------
@@ -187,6 +191,7 @@ class CompiledModule:
             self._session = InferenceSession(
                 self.program, name=self.name,
                 optimize=self.optimize_plans,
+                executor="graph" if self.graph_executor else "wave",
             )
         return self._session
 

@@ -80,16 +80,22 @@ class InferenceSession:
         batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
         optimize: bool = True,
+        executor: str = "wave",
     ) -> None:
         self.name = name if name is not None else program.name
         # Serving defaults to optimized plans (the pass pipeline is proven
         # bit-identical at plan time); ``optimize=False`` serves the plain
         # lowering, and an explicit ``plan`` is used as-is either way.
+        # ``executor`` picks the replay engine for the session's plan *and*
+        # its per-bucket batched plans: "wave" (default), "serial", or
+        # "graph" (the task-graph scheduler, see runtime.task_graph).
         self.optimize = optimize
         self.plan = (
             plan if plan is not None
-            else ExecutionPlan(program, optimize=optimize)
+            else ExecutionPlan(program, optimize=optimize, executor=executor)
         )
+        # An explicit plan wins: batched buckets follow its engine choice.
+        self.executor = self.plan.executor_kind
         self.profile = profile
         if max_pool < 1:
             raise ExecutionError(f"max_pool must be >= 1, got {max_pool}")
@@ -183,7 +189,8 @@ class InferenceSession:
             plan = self._batched_plans.get(bucket)
         if plan is None:
             built = BatchedExecutionPlan(
-                self.plan.program, bucket, optimize=self.optimize
+                self.plan.program, bucket, optimize=self.optimize,
+                executor=self.executor,
             )
             with self._lock:
                 plan = self._batched_plans.setdefault(bucket, built)
@@ -372,10 +379,12 @@ class InferenceSession:
         from repro.runtime.profiler import (
             BatchStats,
             ExecutionProfile,
+            SchedulerStats,
             StepTiming,
         )
 
         percentiles = self.latency_percentiles()
+        graph_exec = self.plan.graph_executor
         with self._lock:
             steps = [
                 StepTiming(
@@ -384,9 +393,26 @@ class InferenceSession:
                     kind=step.kind,
                     calls=self._step_calls,
                     total_seconds=self._step_seconds[step.index],
+                    queue_seconds=(
+                        graph_exec.step_queue_seconds[step.index]
+                        if graph_exec is not None else 0.0
+                    ),
                 )
                 for step in self.plan.steps
             ]
+            scheduler = None
+            if graph_exec is not None:
+                stats = self.plan.task_graph.stats
+                scheduler = SchedulerStats(
+                    tasks=stats.tasks,
+                    data_edges=stats.data_edges,
+                    conflict_edges=stats.conflict_edges,
+                    critical_path=stats.critical_path,
+                    max_ready_width=stats.max_ready_width,
+                    requests=graph_exec.requests,
+                    workers=graph_exec.workers_used,
+                    occupancy=graph_exec.occupancy,
+                )
             batching = None
             if self.batches_executed:
                 batching = BatchStats(
@@ -410,6 +436,7 @@ class InferenceSession:
                     optimization.stats.summary()
                     if optimization is not None else None
                 ),
+                scheduler=scheduler,
             )
 
     def __repr__(self) -> str:

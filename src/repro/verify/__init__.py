@@ -33,7 +33,7 @@ from repro.verify.diagnostics import (
     Severity,
     VerifyReport,
 )
-from repro.verify.hazards import check_arena
+from repro.verify.hazards import check_arena, check_schedule_cover, hazard_pairs
 from repro.verify.shape_dtype import check_shape_dtype, infer_dtype
 from repro.verify.sync import check_sync
 from repro.verify.verifier import (
@@ -62,9 +62,11 @@ __all__ = [
     "assert_verified",
     "check_arena",
     "check_bounds",
+    "check_schedule_cover",
     "check_shape_dtype",
     "check_sync",
     "check_wellformed",
+    "hazard_pairs",
     "infer_dtype",
     "verify_kernels_or_raise",
     "verify_module",

@@ -1,0 +1,339 @@
+"""Tests for the task-graph executor (runtime.task_graph).
+
+The contract under test: the plan-compiled dependency table orders every
+hazardous step pair (certified by the extended arena-hazard pass), and the
+graph executor is *bit-identical* to serial replay on every paper model —
+unbatched and batched, optimizer on and off, under every scheduler policy
+(threaded, FIFO, adversarial LIFO, and caller-scripted topological orders).
+Serial replay (``ExecutionPlan.execute_serial``) is the differential
+oracle throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, PlanningError
+from repro.graph import GraphBuilder, lower_graph
+from repro.models import TINY_MODELS
+from repro.runtime.executor import BatchedExecutionPlan, ExecutionPlan
+from repro.runtime.session import InferenceSession
+from repro.runtime.task_graph import (
+    AdversarialScheduler,
+    FifoScheduler,
+    ScriptedScheduler,
+    TAG_COMPUTE,
+    TAG_MEMORY,
+    ThreadedScheduler,
+    build_task_graph,
+    random_topological_order,
+    task_graph_stats,
+)
+from repro.transform import random_feeds
+
+
+def mlp_program():
+    b = GraphBuilder("mlp")
+    x = b.input((4, 8), name="x")
+    w1 = b.weight((8, 16), name="w1")
+    w2 = b.weight((16, 4), name="w2")
+    return lower_graph(
+        b.build([b.softmax(b.matmul(b.relu(b.matmul(x, w1)), w2), axis=-1)])
+    )
+
+
+def branchy_program(width=4):
+    b = GraphBuilder("branchy")
+    x = b.input((8, 8), name="x")
+    branches = [b.relu(x) for _ in range(width)]
+    out = branches[0]
+    for other in branches[1:]:
+        out = b.add(out, other)
+    return lower_graph(b.build([out]))
+
+
+def assert_outputs_equal(got, want, context=""):
+    assert len(got) == len(want), context
+    for g, w in zip(got, want):
+        assert g.shape == w.shape, context
+        assert np.array_equal(g, w), context
+
+
+# ---- construction ------------------------------------------------------------
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_table_is_consistent(self, optimize):
+        plan = ExecutionPlan(mlp_program(), optimize=optimize,
+                             executor="graph")
+        graph = plan.task_graph
+        n = len(graph)
+        assert n == len(plan.steps)
+        # Every edge points forward; predecessor counts match edges.
+        preds = [0] * n
+        for i, succ in enumerate(graph.successors):
+            for j in succ:
+                assert i < j
+                preds[j] += 1
+        assert preds == graph.pred_template
+        assert graph.roots == tuple(
+            i for i, p in enumerate(preds) if p == 0
+        )
+        assert all(not graph.successors[s] for s in graph.sinks)
+        stats = graph.stats
+        assert stats.tasks == n
+        assert stats.roots == len(graph.roots)
+        assert stats.sinks == len(graph.sinks)
+        assert 1 <= stats.critical_path <= n
+        assert 1 <= stats.max_ready_width <= n
+        assert stats.compute_tasks + stats.memory_tasks == n
+
+    def test_tasks_carry_characterization_tags(self):
+        plan = ExecutionPlan(mlp_program(), executor="graph")
+        tags = {t.tag for t in plan.task_graph.tasks}
+        assert tags <= {TAG_COMPUTE, TAG_MEMORY}
+
+    def test_independent_branches_are_unordered(self):
+        """Parallel branches must not be serialized by spurious edges."""
+        plan = ExecutionPlan(branchy_program(), optimize=False,
+                             executor="graph")
+        assert plan.task_graph.stats.max_ready_width > 1
+
+    def test_dependency_table_passes_hazard_cover(self):
+        from repro.verify import Severity
+
+        plan = ExecutionPlan(lower_graph(TINY_MODELS["lstm"]()),
+                             optimize=True, executor="graph")
+        diags = plan.task_graph.verify_cover()
+        assert not [d for d in diags if d.severity is Severity.ERROR]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(PlanningError):
+            ExecutionPlan(mlp_program(), executor="quantum")
+
+    def test_scheduler_injection_requires_graph_executor(self):
+        plan = ExecutionPlan(mlp_program())
+        feeds = random_feeds(plan.program, seed=0)
+        with pytest.raises(ExecutionError):
+            plan.execute(plan.bind_feeds(feeds), plan.new_arena(),
+                         scheduler=FifoScheduler())
+
+    def test_wave_plans_build_no_graph(self):
+        plan = ExecutionPlan(mlp_program(), optimize=True)
+        assert plan.task_graph is None
+        assert plan.graph_executor is None
+
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    def test_static_stats_match_real_plan(self, name):
+        """The structure-only builder (plan-stats paper path) agrees with
+        the graph compiled into a real plan."""
+        program = lower_graph(TINY_MODELS[name]())
+        plan = ExecutionPlan(program, optimize=True, executor="graph")
+        static = task_graph_stats(program)
+        assert static == plan.task_graph.stats
+
+
+# ---- bit-identity on the six paper models ------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_unbatched_matches_serial_oracle(self, name, optimize):
+        program = lower_graph(TINY_MODELS[name]())
+        plan = ExecutionPlan(program, optimize=optimize, executor="graph")
+        feeds = random_feeds(program, seed=11)
+        bound = plan.bind_feeds(feeds)
+        want = plan.execute_serial(bound, plan.new_arena())
+        context = f"{name} optimize={optimize}"
+        got = plan.execute(bound, plan.new_arena())
+        assert_outputs_equal(got, want, context)
+        for scheduler in (
+            FifoScheduler(),
+            AdversarialScheduler(),
+            ThreadedScheduler(max_workers=4),
+            ScriptedScheduler(random_topological_order(
+                plan.task_graph, np.random.default_rng(5)
+            )),
+        ):
+            got = plan.execute(bound, plan.new_arena(), scheduler=scheduler)
+            assert_outputs_equal(got, want, f"{context} {scheduler}")
+
+    @pytest.mark.parametrize("name", sorted(TINY_MODELS))
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_batched_matches_serial_oracle(self, name, optimize):
+        program = lower_graph(TINY_MODELS[name]())
+        plan = BatchedExecutionPlan(program, 3, optimize=optimize,
+                                    executor="graph")
+        feeds_list = [random_feeds(program, seed=s) for s in (1, 2, 3)]
+        bound = plan.bind_batch(feeds_list)
+        want = plan.execute_serial(bound, plan.new_arena())
+        context = f"{name} optimize={optimize} batched"
+        got = plan.execute(bound, plan.new_arena())
+        assert_outputs_equal(got, want, context)
+        got = plan.execute(bound, plan.new_arena(),
+                           scheduler=AdversarialScheduler())
+        assert_outputs_equal(got, want, context + " adversarial")
+
+    def test_threaded_replay_is_stable_across_requests(self):
+        """Repeated multi-worker replays through one plan never drift."""
+        program = lower_graph(TINY_MODELS["lstm"]())
+        plan = ExecutionPlan(program, optimize=True, executor="graph")
+        feeds = random_feeds(program, seed=3)
+        bound = plan.bind_feeds(feeds)
+        want = plan.execute_serial(bound, plan.new_arena())
+        scheduler = ThreadedScheduler(max_workers=4)
+        for rep in range(8):
+            got = plan.execute(bound, plan.new_arena(), scheduler=scheduler)
+            assert_outputs_equal(got, want, f"rep {rep}")
+
+
+# ---- scheduler policies ------------------------------------------------------
+
+
+class TestSchedulers:
+    def test_scripted_rejects_illegal_order(self):
+        plan = ExecutionPlan(mlp_program(), executor="graph")
+        n = len(plan.task_graph)
+        assert n > 1
+        bad = list(reversed(range(n)))  # runs the sink first
+        feeds = random_feeds(plan.program, seed=0)
+        with pytest.raises(ExecutionError, match="topological"):
+            plan.execute(plan.bind_feeds(feeds), plan.new_arena(),
+                         scheduler=ScriptedScheduler(bad))
+
+    def test_scripted_rejects_short_script(self):
+        plan = ExecutionPlan(mlp_program(), executor="graph")
+        order = random_topological_order(
+            plan.task_graph, np.random.default_rng(0)
+        )
+        feeds = random_feeds(plan.program, seed=0)
+        with pytest.raises(ExecutionError, match="exhausted"):
+            plan.execute(plan.bind_feeds(feeds), plan.new_arena(),
+                         scheduler=ScriptedScheduler(order[:-1]))
+
+    def test_scripted_scheduler_is_reusable(self):
+        """reset() makes one scripted policy valid across requests."""
+        plan = ExecutionPlan(mlp_program(), executor="graph")
+        order = random_topological_order(
+            plan.task_graph, np.random.default_rng(1)
+        )
+        scheduler = ScriptedScheduler(order)
+        feeds = random_feeds(plan.program, seed=2)
+        bound = plan.bind_feeds(feeds)
+        first = plan.execute(bound, plan.new_arena(), scheduler=scheduler)
+        second = plan.execute(bound, plan.new_arena(), scheduler=scheduler)
+        assert_outputs_equal(second, first)
+
+    def test_adversarial_order_differs_from_fifo(self):
+        """The LIFO adversary actually reorders independent work."""
+        plan = ExecutionPlan(branchy_program(), optimize=False,
+                             executor="graph")
+        graph = plan.task_graph
+
+        def trace(policy):
+            order = []
+            counters = list(graph.pred_template)
+            ready = list(graph.roots)
+            while ready:
+                pos = policy.select(ready)
+                order.append(pos)
+                for s in graph.successors[pos]:
+                    counters[s] -= 1
+                    if counters[s] == 0:
+                        ready.append(s)
+            return order
+
+        assert trace(AdversarialScheduler()) != trace(FifoScheduler())
+
+    def test_threaded_worker_bounds(self):
+        plan = ExecutionPlan(mlp_program(), executor="graph")
+        graph = plan.task_graph
+        width = graph.stats.max_ready_width
+        assert ThreadedScheduler(max_workers=64).resolve_workers(graph) \
+            == min(64, width)
+        with pytest.raises(ExecutionError):
+            ThreadedScheduler(max_workers=0)
+
+    def test_random_topological_order_is_legal(self):
+        plan = ExecutionPlan(lower_graph(TINY_MODELS["mmoe"]()),
+                             optimize=True, executor="graph")
+        graph = plan.task_graph
+        seen = set()
+        for seed in range(5):
+            order = random_topological_order(
+                graph, np.random.default_rng(seed)
+            )
+            assert sorted(order) == list(range(len(graph)))
+            done = set()
+            for pos in order:
+                for i, succ in enumerate(graph.successors):
+                    if pos in succ:
+                        assert i in done, "predecessor not yet executed"
+                done.add(pos)
+            seen.add(tuple(order))
+        assert len(seen) > 1, "rng never varied the order"
+
+
+# ---- session / profiler integration ------------------------------------------
+
+
+class TestSessionIntegration:
+    def test_graph_session_matches_wave_session(self):
+        program = lower_graph(TINY_MODELS["mmoe"]())
+        wave = InferenceSession(program)
+        graph = InferenceSession(program, executor="graph")
+        feeds = random_feeds(program, seed=9)
+        assert_outputs_equal(graph.run(feeds), wave.run(feeds))
+        requests = [random_feeds(program, seed=s) for s in range(5)]
+        for got, want in zip(graph.run_batch(requests),
+                             wave.run_batch(requests)):
+            assert_outputs_equal(got, want)
+        # Batched bucket plans inherit the session's executor choice.
+        assert graph.batch_plan(4).graph_executor is not None
+
+    def test_profile_report_has_scheduler_stats(self):
+        program = lower_graph(TINY_MODELS["lstm"]())
+        session = InferenceSession(program, profile=True, executor="graph")
+        feeds = random_feeds(program, seed=4)
+        for _ in range(2):
+            session.run(feeds)
+        profile = session.profile_report()
+        assert profile.scheduler is not None
+        stats = session.plan.task_graph.stats
+        assert profile.scheduler.tasks == stats.tasks
+        assert profile.scheduler.critical_path == stats.critical_path
+        assert profile.scheduler.max_ready_width == stats.max_ready_width
+        assert 0.0 < profile.scheduler.occupancy <= 1.0
+        assert "scheduler:" in profile.render()
+        # Per-task queue wait reaches the step table.
+        assert any(s.queue_seconds > 0.0 for s in profile.steps)
+
+    def test_wave_profile_has_no_scheduler_stats(self):
+        program = mlp_program()
+        session = InferenceSession(program, profile=True)
+        session.run(random_feeds(program, seed=0))
+        assert session.profile_report().scheduler is None
+
+    def test_souffle_option_reaches_module_session(self):
+        from repro.core.config import SouffleOptions
+        from repro.core.souffle import SouffleCompiler
+
+        options = SouffleOptions.from_level(4, graph_executor=True)
+        assert options.graph_executor
+        module = SouffleCompiler(options=options).compile(
+            TINY_MODELS["mmoe"]()
+        )
+        assert module.session.executor == "graph"
+        assert module.session.plan.graph_executor is not None
+        feeds = random_feeds(module.program, seed=6)
+        assert_outputs_equal(
+            module.run(feeds), module.run_interpreted(feeds)
+        )
+
+    def test_explicit_plan_wins_over_executor_param(self):
+        program = mlp_program()
+        plan = ExecutionPlan(program, optimize=True, executor="graph")
+        session = InferenceSession(program, plan=plan)
+        assert session.executor == "graph"
+        assert session.batch_plan(2).graph_executor is not None
