@@ -182,7 +182,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         buckets.add(args.batch)
     session = InferenceSession(
         program, name=graph.name, profile=True,
-        batch_buckets=tuple(sorted(buckets)),
+        batch_buckets=tuple(sorted(buckets)), tile=args.tile,
     )
 
     # Warm both paths once (plan construction, numpy caches).
@@ -326,9 +326,10 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
         executor = "graph" if args.executor == "graph" else "wave"
         plan = (
             BatchedExecutionPlan(program, batch, optimize=True,
-                                 executor=executor)
+                                 executor=executor, tile=args.tile)
             if batch is not None
-            else ExecutionPlan(program, optimize=True, executor=executor)
+            else ExecutionPlan(program, optimize=True, executor=executor,
+                               tile=args.tile)
         )
         stats = plan.optimization.stats
         graph_stats = (
@@ -341,12 +342,14 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
         # structure-only builder.
         graph = _resolve_model(args.model)
         program = lower_graph(graph)
-        stats = plan_optimization(program, batch_size=batch).stats
+        stats = plan_optimization(program, batch_size=batch,
+                                  tile=args.tile).stats
         graph_stats = None
         if args.executor == "graph":
             from repro.runtime.task_graph import task_graph_stats
 
-            graph_stats = task_graph_stats(program, batch_size=batch)
+            graph_stats = task_graph_stats(program, batch_size=batch,
+                                           tile=args.tile)
     suffix = f" (batch {batch})" if batch is not None else ""
     print(f"plan optimizer: {graph.name}{suffix}")
     print(stats.render())
@@ -436,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=0,
                    help="also time batched plan replay at this batch size "
                         "(0 = off)")
+    p.add_argument("--tile", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="block-tile eligible reduction chains "
+                        "(--no-tile serves the untiled optimized plan)")
     p.add_argument("--concurrency", type=int, default=0,
                    help="drive a dynamic-batching server with this many "
                         "client threads (0 = off)")
@@ -466,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=0,
                    help="optimize the batched plan at this batch size "
                         "(0 = unbatched)")
+    p.add_argument("--tile", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="block-tile eligible reduction chains before "
+                        "reporting (--no-tile reports the untiled plan)")
     p.add_argument("--executor", choices=("wave", "graph"), default="wave",
                    help="with 'graph', also report the compiled task "
                         "graph (task count, dependency edges, critical "

@@ -31,12 +31,18 @@ class SouffleOptions:
     # with no per-wave barriers. Off by default; the wave scheduler stays
     # the reference serving engine.
     graph_executor: bool = False
+    # Block-level tiling of map->reduce->map chains (runtime.tiling):
+    # cache-blocked sub-steps with per-worker scratch, applied by the plan
+    # optimizer when profitable. On by default; only meaningful when
+    # optimize_plans is on.
+    tile_reductions: bool = True
 
     @classmethod
     def from_level(cls, level: int, validate: bool = False,
                    verify: bool = False,
                    optimize_plans: bool = True,
-                   graph_executor: bool = False) -> "SouffleOptions":
+                   graph_executor: bool = False,
+                   tile_reductions: bool = True) -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -49,6 +55,7 @@ class SouffleOptions:
             verify=verify,
             optimize_plans=optimize_plans,
             graph_executor=graph_executor,
+            tile_reductions=tile_reductions,
         )
 
     @property

@@ -251,6 +251,7 @@ class SouffleCompiler:
             stats=stats,
             optimize_plans=options.optimize_plans,
             graph_executor=options.graph_executor,
+            tile_reductions=options.tile_reductions,
         )
 
         if cache is not None and cache.modules is not None and mkey is not None:

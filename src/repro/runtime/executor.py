@@ -314,6 +314,134 @@ def _compile_read(
     return None, gather_batched
 
 
+def _batched(shape: Tuple[int, ...], batch_size: Optional[int]) -> Tuple[int, ...]:
+    if batch_size is None:
+        return tuple(shape)
+    return (batch_size,) + tuple(shape)
+
+
+def compile_plan_step(
+    tensor: Tensor,
+    index: int,
+    key: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> PlanStep:
+    """Lower one computed tensor to an executable :class:`PlanStep`.
+
+    The core of :meth:`ExecutionPlan._build_step`, callable outside a plan:
+    the tiling pass (:mod:`repro.runtime.tiling`) compiles cache-block
+    clones of chain members through this same path, so a block step runs
+    exactly the numpy kernels per output row the untiled step would.
+    ``key`` defaults to ``id(tensor)``.
+    """
+    if key is None:
+        key = id(tensor)
+    op = tensor.op
+    assert op is not None
+    batched = batch_size is not None
+
+    pattern = match_matmul(tensor)
+    if pattern is not None:
+        lk, rk = id(pattern.lhs), id(pattern.rhs)
+        formula = pattern.einsum_formula
+        lhs_shape = tuple(pattern.lhs.shape)
+        rhs_shape = tuple(pattern.rhs.shape)
+        if batched:
+            formula = (
+                f"...{pattern.lhs_spec},...{pattern.rhs_spec}"
+                f"->...{pattern.out_spec}"
+            )
+            lhs_shape = _batched(lhs_shape, batch_size)
+            rhs_shape = _batched(rhs_shape, batch_size)
+        path = contraction_path(formula, lhs_shape, rhs_shape)
+
+        def run_einsum(
+            v: Values, formula=formula, lk=lk, rk=rk, key=key, path=path
+        ):
+            np.einsum(formula, v[lk], v[rk], out=v[key], optimize=path)
+
+        return PlanStep(index, tensor.name, "einsum", key, run_einsum)
+
+    spatial = list(op.axes)
+    body = op.body
+    reduce_axes: List[IterVar] = []
+    reduce_kind: Optional[str] = None
+    if isinstance(body, Reduce):
+        reduce_axes = list(body.axes)
+        reduce_kind = body.kind
+        body = body.body
+
+    all_axes = spatial + reduce_axes
+    total = 1 if batch_size is None else batch_size
+    for ax in all_axes:
+        total *= ax.extent
+    if total > MAX_GRID_ELEMENTS:
+        raise ExecutionError(
+            f"evaluation grid for {tensor.name} has {total} points "
+            f"(> {MAX_GRID_ELEMENTS}); use smaller shapes for functional "
+            "execution — benchmarks use the analytic model"
+        )
+
+    env = _grid_env(all_axes)
+    const, fn = _compile_expr(body, env, all_axes, batched)
+
+    if reduce_kind is None:
+        if fn is None:
+            # Fully data-independent body: the result never changes.
+            # (The arena view broadcasts the fold over any batch axis.)
+            folded = np.broadcast_to(const, tensor.shape)
+
+            def run_const(v: Values, key=key, folded=folded):
+                np.copyto(v[key], folded)
+
+            return PlanStep(
+                index, tensor.name, "const", key, run_const,
+                value_fn=lambda v, folded=folded: folded,
+            )
+
+        def run_map(v: Values, key=key, fn=fn):
+            np.copyto(v[key], fn(v))
+
+        return PlanStep(
+            index, tensor.name, "map", key, run_map, value_fn=fn
+        )
+
+    full_shape = _batched(
+        tuple(ax.extent for ax in all_axes), batch_size
+    )
+    offset = 0 if batch_size is None else 1
+    reduce_dims = tuple(
+        offset + d for d in range(len(spatial), len(all_axes))
+    )
+    red_fn = {"sum": np.sum, "max": np.max, "min": np.min}[reduce_kind]
+
+    if fn is None:
+        folded = red_fn(
+            np.broadcast_to(const, full_shape), axis=reduce_dims
+        ).astype(EXEC_DTYPE)
+
+        def run_const_red(v: Values, key=key, folded=folded):
+            np.copyto(v[key], folded)
+
+        return PlanStep(
+            index, tensor.name, "const", key, run_const_red,
+            value_fn=lambda v, folded=folded: folded,
+        )
+
+    def run_reduce(
+        v: Values,
+        key=key,
+        fn=fn,
+        full=full_shape,
+        dims=reduce_dims,
+        red=red_fn,
+    ):
+        grid = np.broadcast_to(fn(v), full)
+        red(grid, axis=dims, out=v[key])
+
+    return PlanStep(index, tensor.name, "reduce", key, run_reduce)
+
+
 class ExecutionPlan:
     """A TE program lowered to a flat, replayable step list + arena layout."""
 
@@ -330,6 +458,9 @@ class ExecutionPlan:
         memory_plan: Optional[MemoryPlan] = None,
         optimize: bool = False,
         executor: str = "wave",
+        tile: bool = True,
+        tile_budget: Optional[int] = None,
+        tile_block_rows: Optional[int] = None,
     ) -> None:
         if executor not in ("wave", "serial", "graph"):
             raise PlanningError(
@@ -338,6 +469,14 @@ class ExecutionPlan:
                 "'graph' (task-graph scheduler)"
             )
         self.executor_kind = executor
+        # Block-level tiling of reduction chains (runtime.tiling), applied
+        # by the optimizer pass pipeline: default on, profitable chains
+        # only. tile_budget overrides the footprint model's cache budget;
+        # tile_block_rows forces a block size (tests).
+        self.tile = tile
+        self.tile_budget = tile_budget
+        self.tile_block_rows = tile_block_rows
+        self._scratch_pool = None
         self.program = program
         if memory_plan is None:
             memory_plan = plan_memory(
@@ -401,110 +540,11 @@ class ExecutionPlan:
 
     def _build_step(self, index: int, node) -> PlanStep:
         tensor: Tensor = node.tensor
-        key = id(tensor)
-        op = tensor.op
-        assert op is not None
-        self._note_reads(op.body)
-        batched = self.batch_size is not None
-
-        pattern = match_matmul(tensor)
-        if pattern is not None:
-            lk, rk = id(pattern.lhs), id(pattern.rhs)
-            formula = pattern.einsum_formula
-            lhs_shape = tuple(pattern.lhs.shape)
-            rhs_shape = tuple(pattern.rhs.shape)
-            if batched:
-                formula = (
-                    f"...{pattern.lhs_spec},...{pattern.rhs_spec}"
-                    f"->...{pattern.out_spec}"
-                )
-                lhs_shape = self._batched_shape(lhs_shape)
-                rhs_shape = self._batched_shape(rhs_shape)
-            path = contraction_path(formula, lhs_shape, rhs_shape)
-
-            def run_einsum(
-                v: Values, formula=formula, lk=lk, rk=rk, key=key, path=path
-            ):
-                np.einsum(formula, v[lk], v[rk], out=v[key], optimize=path)
-
-            return PlanStep(index, tensor.name, "einsum", key, run_einsum)
-
-        spatial = list(op.axes)
-        body = op.body
-        reduce_axes: List[IterVar] = []
-        reduce_kind: Optional[str] = None
-        if isinstance(body, Reduce):
-            reduce_axes = list(body.axes)
-            reduce_kind = body.kind
-            body = body.body
-
-        all_axes = spatial + reduce_axes
-        total = 1 if self.batch_size is None else self.batch_size
-        for ax in all_axes:
-            total *= ax.extent
-        if total > MAX_GRID_ELEMENTS:
-            raise ExecutionError(
-                f"evaluation grid for {tensor.name} has {total} points "
-                f"(> {MAX_GRID_ELEMENTS}); use smaller shapes for functional "
-                "execution — benchmarks use the analytic model"
-            )
-
-        env = _grid_env(all_axes)
-        const, fn = _compile_expr(body, env, all_axes, batched)
-
-        if reduce_kind is None:
-            if fn is None:
-                # Fully data-independent body: the result never changes.
-                # (The arena view broadcasts the fold over any batch axis.)
-                folded = np.broadcast_to(const, tensor.shape)
-
-                def run_const(v: Values, key=key, folded=folded):
-                    np.copyto(v[key], folded)
-
-                return PlanStep(
-                    index, tensor.name, "const", key, run_const,
-                    value_fn=lambda v, folded=folded: folded,
-                )
-
-            def run_map(v: Values, key=key, fn=fn):
-                np.copyto(v[key], fn(v))
-
-            return PlanStep(
-                index, tensor.name, "map", key, run_map, value_fn=fn
-            )
-
-        full_shape = self._batched_shape(tuple(ax.extent for ax in all_axes))
-        offset = 0 if self.batch_size is None else 1
-        reduce_dims = tuple(
-            offset + d for d in range(len(spatial), len(all_axes))
+        assert tensor.op is not None
+        self._note_reads(tensor.op.body)
+        return compile_plan_step(
+            tensor, index, key=id(tensor), batch_size=self.batch_size
         )
-        red_fn = {"sum": np.sum, "max": np.max, "min": np.min}[reduce_kind]
-
-        if fn is None:
-            folded = red_fn(
-                np.broadcast_to(const, full_shape), axis=reduce_dims
-            ).astype(EXEC_DTYPE)
-
-            def run_const_red(v: Values, key=key, folded=folded):
-                np.copyto(v[key], folded)
-
-            return PlanStep(
-                index, tensor.name, "const", key, run_const_red,
-                value_fn=lambda v, folded=folded: folded,
-            )
-
-        def run_reduce(
-            v: Values,
-            key=key,
-            fn=fn,
-            full=full_shape,
-            dims=reduce_dims,
-            red=red_fn,
-        ):
-            grid = np.broadcast_to(fn(v), full)
-            red(grid, axis=dims, out=v[key])
-
-        return PlanStep(index, tensor.name, "reduce", key, run_reduce)
 
     def _note_reads(self, expr: Expr) -> None:
         """Record which placeholders the program actually reads."""
@@ -742,6 +782,9 @@ class BatchedExecutionPlan(ExecutionPlan):
         memory_plan: Optional[MemoryPlan] = None,
         optimize: bool = False,
         executor: str = "wave",
+        tile: bool = True,
+        tile_budget: Optional[int] = None,
+        tile_block_rows: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
             raise PlanningError(
@@ -750,7 +793,9 @@ class BatchedExecutionPlan(ExecutionPlan):
         # Set before super().__init__: the sizer and step builders read it.
         self.batch_size = int(batch_size)
         super().__init__(
-            program, memory_plan, optimize=optimize, executor=executor
+            program, memory_plan, optimize=optimize, executor=executor,
+            tile=tile, tile_budget=tile_budget,
+            tile_block_rows=tile_block_rows,
         )
 
     def bind_batch(

@@ -101,6 +101,14 @@ class MemoryPlan:
     workspace_bytes: int = 0
     unshared_bytes: int = 0     # what naive one-buffer-per-tensor would cost
     exclusive_writes: bool = False
+    # Block-level tiling (runtime.tiling): per-worker scratch buffer size
+    # and, per tiled chain, the (tensor name, offset, nbytes) scratch blocks
+    # carved from it. Scratch is outside the arena — the verifier's
+    # check_arena validates these blocks never alias each other.
+    scratch_bytes: int = 0
+    scratch_chains: Dict[int, List[Tuple[str, int, int]]] = field(
+        default_factory=dict
+    )
 
     @property
     def sharing_ratio(self) -> float:

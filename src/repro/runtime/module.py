@@ -124,6 +124,7 @@ class CompiledModule:
         program_loader: Optional[Callable[[], TEProgram]] = None,
         optimize_plans: bool = True,
         graph_executor: bool = False,
+        tile_reductions: bool = True,
     ) -> None:
         self.name = name
         self.compiler = compiler
@@ -133,11 +134,14 @@ class CompiledModule:
         self._program = program
         self._program_loader = program_loader
         # Whether sessions built from this module serve plan-optimized
-        # execution plans (SouffleOptions.optimize_plans) and whether they
+        # execution plans (SouffleOptions.optimize_plans), whether they
         # replay through the task-graph scheduler instead of the wave
-        # scheduler (SouffleOptions.graph_executor).
+        # scheduler (SouffleOptions.graph_executor), and whether the plan
+        # optimizer may tile reduction chains (SouffleOptions.
+        # tile_reductions, see runtime.tiling).
         self.optimize_plans = optimize_plans
         self.graph_executor = graph_executor
+        self.tile_reductions = tile_reductions
         self._session: Optional["InferenceSession"] = None
 
     # ---- program materialisation ---------------------------------------------
@@ -192,6 +196,7 @@ class CompiledModule:
                 self.program, name=self.name,
                 optimize=self.optimize_plans,
                 executor="graph" if self.graph_executor else "wave",
+                tile=self.tile_reductions,
             )
         return self._session
 

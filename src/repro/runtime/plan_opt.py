@@ -163,6 +163,13 @@ class OptimizeStats:
     parallel_waves: int = 0          # waves eligible for pool dispatch
     workspace_before: int = 0
     workspace_after: int = 0
+    # Block-level tiling (runtime.tiling): reduction chains split into
+    # cache-blocked sub-steps with per-worker scratch.
+    tiled_chains: int = 0
+    tiled_steps: int = 0             # step groups folded into tiled chains
+    tiled_blocks: int = 0            # block sub-steps those chains became
+    tile_block_rows: List[int] = field(default_factory=list)
+    scratch_bytes: int = 0           # per-worker scratch buffer size
 
     @property
     def arena_bytes_saved(self) -> int:
@@ -170,6 +177,12 @@ class OptimizeStats:
 
     def summary(self) -> str:
         """One line for profile reports."""
+        tiled = ""
+        if self.tiled_chains:
+            tiled = (
+                f", {self.tiled_chains} chains tiled into "
+                f"{self.tiled_blocks} blocks"
+            )
         return (
             f"plan optimizer: {self.steps_before}->{self.steps_after} steps "
             f"({self.hoisted_steps} hoisted, {self.fused_steps} fused), "
@@ -177,10 +190,15 @@ class OptimizeStats:
             f"specialized, {self.elided_buffers} elided, "
             f"{self.wave_count} waves, "
             f"{self.arena_bytes_saved} arena bytes saved"
+            f"{tiled}"
         )
 
     def render(self) -> str:
         """Multi-line report for the ``plan-stats`` CLI."""
+        blocks = (
+            "x".join(str(b) for b in self.tile_block_rows)
+            if self.tile_block_rows else "-"
+        )
         lines = [
             f"steps:            {self.steps_before} -> {self.steps_after}",
             f"  hoisted (run once per weight-set): {self.hoisted_steps}",
@@ -189,6 +207,10 @@ class OptimizeStats:
             f"{self.specialized_contractions}/{self.einsum_steps}",
             f"in-place elisions: {self.elided_buffers} buffers "
             f"({self.elided_bytes} bytes merged)",
+            f"tiled chains:      {self.tiled_chains} "
+            f"({self.tiled_steps} steps -> {self.tiled_blocks} blocks, "
+            f"block rows {blocks}, "
+            f"{self.scratch_bytes} scratch bytes/worker)",
             f"waves:             {self.wave_count} "
             f"({self.parallel_waves} parallel-eligible)",
             f"arena workspace:   {self.workspace_before} -> "
@@ -218,6 +240,7 @@ class PlanOptimization:
     inplace_pairs: Set[Tuple[int, int]]  # (writer tensor id, operand id)
     step_view: ProgramView
     stats: OptimizeStats = field(default_factory=OptimizeStats)
+    tiled_chains: List = field(default_factory=list)  # tiling.TiledChain
 
 
 # ---- static pass pipeline ---------------------------------------------------
@@ -231,13 +254,20 @@ def plan_optimization(
     fuse: bool = True,
     elide: bool = True,
     waves: bool = True,
+    tile: bool = True,
+    tile_budget: Optional[int] = None,
+    tile_block_rows: Optional[int] = None,
 ) -> PlanOptimization:
     """Run the static passes over one TE program.
 
     ``sizer`` must match the executor that will consume the layout (the
     default is the executor's float64 sizing with ``batch_size`` lanes).
     The per-pass flags exist for targeted tests and ablation; production
-    callers leave them on.
+    callers leave them on. ``tile`` enables block-level tiling of
+    map→reduce→map chains (on by default, fires only when the footprint
+    model judges a chain profitable against ``tile_budget`` — default
+    :data:`repro.analysis.characterize.CACHE_BUDGET_BYTES`);
+    ``tile_block_rows`` forces a block size on every eligible chain.
     """
     if sizer is None:
         from repro.runtime.executor import EXEC_ITEMSIZE
@@ -340,20 +370,50 @@ def plan_optimization(
             terminal=node_by_index[terminal_index],
             reads=reads,
         ))
+
+    # ---- tiling pass: cache-block map→reduce→map chains -----------------
+    # Runs between group formation and levelisation: a chain's internal
+    # groups disappear (their tensors live in per-worker scratch) and its
+    # terminal group becomes one TiledStepGroup per block, all writing
+    # disjoint row slices of the chain terminal's arena buffer.
+    tiled_chains: List = []
+    if tile and len(groups) > 1:
+        from repro.analysis.characterize import CACHE_BUDGET_BYTES
+        from repro.runtime.tiling import apply_tiling, detect_chains
+
+        budget = tile_budget if tile_budget is not None else CACHE_BUDGET_BYTES
+        lanes = 1 if batch_size is None else batch_size
+        tiled_chains = detect_chains(
+            program, groups, kinds, lanes, budget, tile_block_rows
+        )
+        if tiled_chains:
+            groups = apply_tiling(groups, tiled_chains)
     stats.steps_after = len(groups)
+    stats.tiled_chains = len(tiled_chains)
+    stats.tiled_steps = sum(len(c.groups) for c in tiled_chains)
+    stats.tiled_blocks = sum(c.num_blocks for c in tiled_chains)
+    stats.tile_block_rows = [c.block_rows for c in tiled_chains]
+    stats.scratch_bytes = max(
+        (c.scratch_bytes for c in tiled_chains), default=0
+    )
 
     # ---- pass 4 (ordering half): levelise into dependency waves ---------
     # Waves fix the *execution order* the repacker must model, so the
     # levelisation runs before elision/packing; the byte-conflict sub-wave
     # split below needs the final layout and runs after.
-    producer_group: Dict[int, int] = {
-        id(g.terminal.tensor): g.position for g in groups
-    }
+    # A tiled chain's blocks all "produce" the chain terminal tensor, so
+    # the producer map is multi-valued: a reader depends on every block.
+    producer_groups: Dict[int, List[int]] = {}
+    for g in groups:
+        producer_groups.setdefault(id(g.terminal.tensor), []).append(
+            g.position
+        )
     deps: List[List[int]] = []
     for g in groups:
         deps.append(sorted({
-            producer_group[id(t)] for t in g.reads
-            if id(t) in producer_group
+            pos
+            for t in g.reads
+            for pos in producer_groups.get(id(t), ())
         }))
     if waves:
         level: List[int] = [0] * len(groups)
@@ -395,6 +455,8 @@ def plan_optimization(
     elided: Dict[int, Tensor] = {}
     if elide:
         for g in groups:
+            if getattr(g, "chain", None) is not None:
+                continue  # tiled blocks write row slices, never whole bytes
             if kinds[g.terminal.index] != "map":
                 continue
             out = g.terminal.tensor
@@ -418,10 +480,20 @@ def plan_optimization(
                 break
 
     # ---- repack the arena over optimized positions ----------------------
-    packable = [
-        g for g in groups if not program.is_output(g.terminal.tensor)
-    ]
-    def_pos = {id(g.terminal.tensor): g.position for g in groups}
+    # A tiled chain's blocks share one terminal tensor: pack it once, with
+    # its definition at the *first* block (the earliest write) and liveness
+    # through the last reader as usual.
+    packable: List[StepGroup] = []
+    packed_ids: Set[int] = set()
+    for g in groups:
+        t = g.terminal.tensor
+        if program.is_output(t) or id(t) in packed_ids:
+            continue
+        packed_ids.add(id(t))
+        packable.append(g)
+    def_pos: Dict[int, int] = {}
+    for g in groups:
+        def_pos.setdefault(id(g.terminal.tensor), g.position)
     last_pos: Dict[int, int] = {}
     for g in groups:
         for t in g.reads:
@@ -495,6 +567,17 @@ def plan_optimization(
     memory_plan.unshared_bytes = sum(
         _align(sizer(g.terminal.tensor)) for g in packable
     )
+    # Scratch-block layout for the verifier (check_arena validates the
+    # per-chain blocks never alias) and the plan-stats report.
+    memory_plan.scratch_bytes = stats.scratch_bytes
+    memory_plan.scratch_chains = {
+        c.index: [
+            (m.name,) + c.scratch_offsets[id(m.tensor)]
+            for m in c.member_nodes
+            if id(m.tensor) in c.scratch_offsets
+        ]
+        for c in tiled_chains
+    }
     stats.elided_buffers = len(elided)
     stats.elided_bytes = sum(_align(sizer(t)) for t in elided.values())
     stats.workspace_after = workspace
@@ -509,6 +592,12 @@ def plan_optimization(
         return a[0] < b[1] and b[0] < a[1]
 
     def conflicts(p: StepGroup, q: StepGroup) -> bool:
+        p_chain = getattr(p, "chain", None)
+        if p_chain is not None and p_chain is getattr(q, "chain", None):
+            # Sibling blocks of one chain write disjoint row slices of the
+            # same buffer and read disjoint slices of the same externals:
+            # safe to run concurrently within a wave by construction.
+            return False
         wp = byte_range.get(id(p.terminal.tensor))
         wq = byte_range.get(id(q.terminal.tensor))
         for write, other in ((wp, q), (wq, p)):
@@ -568,6 +657,7 @@ def plan_optimization(
         inplace_pairs=inplace_pairs,
         step_view=step_view,
         stats=stats,
+        tiled_chains=tiled_chains,
     )
 
 
@@ -726,7 +816,10 @@ def optimize_plan(plan, opt: Optional[PlanOptimization] = None):
 
     if opt is None:
         opt = plan_optimization(
-            plan.program, sizer=plan._sizer, batch_size=plan.batch_size
+            plan.program, sizer=plan._sizer, batch_size=plan.batch_size,
+            tile=getattr(plan, "tile", True),
+            tile_budget=getattr(plan, "tile_budget", None),
+            tile_block_rows=getattr(plan, "tile_block_rows", None),
         )
 
     base_steps = plan.steps  # indexed by original node index
@@ -736,8 +829,33 @@ def optimize_plan(plan, opt: Optional[PlanOptimization] = None):
         for n in opt.hoisted_nodes
     ]
 
+    # Tiled chains compile once per chain (shared across its blocks): the
+    # block plans rewrite every member at block extent and borrow scratch
+    # from one pool sized for the plan's largest chain.
+    scratch_pool = None
+    chain_runtimes: Dict[int, object] = {}
+    if opt.tiled_chains:
+        from repro.runtime.tiling import ChainRuntime, ScratchPool
+
+        scratch_pool = ScratchPool(
+            max(c.scratch_bytes for c in opt.tiled_chains)
+        )
+        for c in opt.tiled_chains:
+            chain_runtimes[c.index] = ChainRuntime(
+                c, plan.batch_size, scratch_pool
+            )
+    plan._scratch_pool = scratch_pool
+
     new_steps: List[PlanStep] = []
     for g in opt.groups:
+        chain = getattr(g, "chain", None)
+        if chain is not None:
+            runtime = chain_runtimes[chain.index]
+            new_steps.append(PlanStep(
+                g.position, g.name, "tiled", id(g.terminal.tensor),
+                runtime.block_run(g.block_index),
+            ))
+            continue
         terminal_step = base_steps[g.terminal.index]
         if len(g.members) == 1:
             step = PlanStep(
@@ -780,13 +898,15 @@ def optimize_plan(plan, opt: Optional[PlanOptimization] = None):
     wave_schedule = None
     if opt.waves is not None and len(opt.waves) < len(opt.groups):
         lanes = 1 if plan.batch_size is None else plan.batch_size
+
+        def group_work(g) -> int:
+            if hasattr(g, "work_elements"):
+                return g.work_elements(lanes)  # tiled: per-block share
+            return sum(lanes * m.tensor.num_elements for m in g.members)
+
         wave_schedule = []
         for wave in opt.waves:
-            work = min(
-                sum(lanes * m.tensor.num_elements
-                    for m in opt.groups[pos].members)
-                for pos in wave
-            )
+            work = min(group_work(opt.groups[pos]) for pos in wave)
             parallel = (
                 len(wave) >= 2 and work >= PARALLEL_MIN_WAVE_ELEMENTS
             )

@@ -7,7 +7,8 @@ the compute- vs memory-intensive latency split of Sec. 8.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.gpu.kernel import KernelMetrics
@@ -150,6 +151,39 @@ class StepTiming:
         return self.queue_seconds / self.calls * 1e6
 
 
+# A tiled chain's sub-steps are named "<chain>[blk i/n]" (runtime.tiling);
+# the chain name itself is "+"-joined like any fused step, so the block
+# suffix must be recognised — not split on — when aggregating rows.
+_TILED_STEP = re.compile(r"^(?P<base>.+)\[blk (?P<i>\d+)/(?P<n>\d+)\]$")
+
+
+def aggregate_tiled_steps(steps: List[StepTiming]) -> List[StepTiming]:
+    """Collapse per-block rows of one tiled chain into a single row.
+
+    Eight ``softmax[blk i/8]`` rows each carrying 1/8th of the chain's time
+    would individually sort below unrelated steps and flood the table;
+    reporting one ``softmax[blk x8]`` row with the summed time keeps
+    attribution whole. Non-tiled rows pass through untouched, in order.
+    """
+    out: List[StepTiming] = []
+    merged: Dict[str, StepTiming] = {}
+    for s in steps:
+        m = _TILED_STEP.match(s.name)
+        if m is None:
+            out.append(s)
+            continue
+        base, n = m.group("base"), m.group("n")
+        agg = merged.get(base)
+        if agg is None:
+            agg = replace(s, name=f"{base}[blk x{n}]")
+            merged[base] = agg
+            out.append(agg)
+        else:
+            agg.total_seconds += s.total_seconds
+            agg.queue_seconds += s.queue_seconds
+    return out
+
+
 @dataclass
 class SchedulerStats:
     """Task-graph scheduler counters for one session's plan.
@@ -268,7 +302,9 @@ class ExecutionProfile:
             lines.append(self.optimizer_summary)
         if self.scheduler is not None:
             lines.append(self.scheduler.render())
-        timed = [s for s in self.steps if s.calls > 0]
+        timed = aggregate_tiled_steps(
+            [s for s in self.steps if s.calls > 0]
+        )
         if not timed:
             lines.append("(per-step timing disabled; profile=True to enable)")
             return "\n".join(lines)

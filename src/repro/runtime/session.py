@@ -81,6 +81,7 @@ class InferenceSession:
         latency_window: int = DEFAULT_LATENCY_WINDOW,
         optimize: bool = True,
         executor: str = "wave",
+        tile: bool = True,
     ) -> None:
         self.name = name if name is not None else program.name
         # Serving defaults to optimized plans (the pass pipeline is proven
@@ -89,10 +90,14 @@ class InferenceSession:
         # ``executor`` picks the replay engine for the session's plan *and*
         # its per-bucket batched plans: "wave" (default), "serial", or
         # "graph" (the task-graph scheduler, see runtime.task_graph).
+        # ``tile`` gates the optimizer's block-level tiling of reduction
+        # chains (runtime.tiling) for the plan and its batched buckets.
         self.optimize = optimize
+        self.tile = tile
         self.plan = (
             plan if plan is not None
-            else ExecutionPlan(program, optimize=optimize, executor=executor)
+            else ExecutionPlan(program, optimize=optimize, executor=executor,
+                               tile=tile)
         )
         # An explicit plan wins: batched buckets follow its engine choice.
         self.executor = self.plan.executor_kind
@@ -190,7 +195,7 @@ class InferenceSession:
         if plan is None:
             built = BatchedExecutionPlan(
                 self.plan.program, bucket, optimize=self.optimize,
-                executor=self.executor,
+                executor=self.executor, tile=self.tile,
             )
             with self._lock:
                 plan = self._batched_plans.setdefault(bucket, built)

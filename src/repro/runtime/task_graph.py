@@ -195,9 +195,13 @@ def _build_structure(
     conflict with each other.
     """
     n = len(entries)
-    producer: Dict[int, int] = {
-        id(t): pos for pos, (_, t, _, _) in enumerate(entries)
-    }
+    # A tensor may have several writers: a tiled chain's blocks (see
+    # runtime.tiling) each write one disjoint row slice of the chain
+    # terminal. Every reader gets a data edge from *all* of them; sibling
+    # blocks never pair with each other (disjoint bytes by construction).
+    producer: Dict[int, List[int]] = {}
+    for pos, (_, t, _, _) in enumerate(entries):
+        producer.setdefault(id(t), []).append(pos)
     readers: Dict[int, List[int]] = {}
     succ: List[Set[int]] = [set() for _ in range(n)]
     data_pairs: Set[Tuple[int, int]] = set()
@@ -205,16 +209,17 @@ def _build_structure(
     for j, (_, _, reads, _) in enumerate(entries):
         for t in reads:
             readers.setdefault(id(t), []).append(j)
-            i = producer.get(id(t))
-            if i is None or i == j:
-                continue
-            if i > j:
-                raise PlanningError(
-                    "task graph construction requires steps in "
-                    f"topological order (position {j} reads position {i})"
-                )
-            succ[i].add(j)
-            data_pairs.add((i, j))
+            for i in producer.get(id(t), ()):
+                if i == j:
+                    continue
+                if i > j:
+                    raise PlanningError(
+                        "task graph construction requires steps in "
+                        f"topological order (position {j} reads "
+                        f"position {i})"
+                    )
+                succ[i].add(j)
+                data_pairs.add((i, j))
     data_edges = len(data_pairs)
 
     conflict_pairs: Set[Tuple[int, int]] = set()
@@ -241,15 +246,15 @@ def _build_structure(
     active: List[Tuple[int, int]] = []  # (end, tensor id)
     for start, end, t_key in intervals:
         active = [item for item in active if item[0] > start]
-        wt = producer.get(t_key)
+        wts = producer.get(t_key, ())
         for _, u_key in active:
-            wu = producer.get(u_key)
-            if wt is not None and wu is not None:
-                order_pair(wt, wu)                      # WAW
-            if wt is not None:
+            wus = producer.get(u_key, ())
+            for wt in wts:
+                for wu in wus:
+                    order_pair(wt, wu)                  # WAW
                 for r in readers.get(u_key, ()):        # t's write vs u reads
                     order_pair(wt, r)
-            if wu is not None:
+            for wu in wus:
                 for r in readers.get(t_key, ()):        # u's write vs t reads
                     order_pair(wu, r)
         active.append((end, t_key))
@@ -367,12 +372,17 @@ def task_graph_stats(
     program,
     batch_size: Optional[int] = None,
     optimize: bool = True,
+    tile: bool = True,
+    tile_budget: Optional[int] = None,
+    tile_block_rows: Optional[int] = None,
 ) -> TaskGraphStats:
     """Static task-graph shape without building an executable plan.
 
     Paper-scale models exceed the functional executor's grid limits, so
     ``repro plan-stats --executor graph`` derives the structure from the
-    static planner output (or the raw lowering) instead.
+    static planner output (or the raw lowering) instead. The tiling knobs
+    mirror :func:`repro.runtime.plan_opt.plan_optimization`, so ready-width
+    is reported over the *post-tiling* step list.
     """
     from repro.runtime.executor import EXEC_ITEMSIZE
     from repro.runtime.memory_planner import plan_memory
@@ -382,7 +392,9 @@ def task_graph_stats(
     if optimize:
         from repro.runtime.plan_opt import plan_optimization
 
-        opt = plan_optimization(program, sizer=sizer, batch_size=batch_size)
+        opt = plan_optimization(program, sizer=sizer, batch_size=batch_size,
+                                tile=tile, tile_budget=tile_budget,
+                                tile_block_rows=tile_block_rows)
         entries = [
             (g.name, g.terminal.tensor, list(g.reads), list(g.members))
             for g in opt.groups

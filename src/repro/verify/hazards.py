@@ -50,9 +50,11 @@ def _recompute_live(view) -> Dict[int, LiveRange]:
     """Lenient liveness recomputation straight off the view (no validation)."""
     end = len(view.nodes)
     result: Dict[int, LiveRange] = {}
-    producer_index: Dict[int, int] = {
-        id(n.tensor): n.index for n in view.nodes
-    }
+    # A tiled chain's blocks are several nodes writing one tensor; the
+    # tensor is defined at the *first* writer (earliest block).
+    producer_index: Dict[int, int] = {}
+    for n in view.nodes:
+        producer_index.setdefault(id(n.tensor), n.index)
     last_use: Dict[int, int] = {}
     for node in view.nodes:
         for operand in node.inputs:
@@ -209,6 +211,48 @@ def check_arena(
                     "their live ranges conflict; give them disjoint "
                     "arena intervals",
                 ))
+
+    diags.extend(_check_scratch(plan))
+    return diags
+
+
+def _check_scratch(plan: MemoryPlan) -> List[Diagnostic]:
+    """Validate tiled-chain scratch layouts (see ``runtime.tiling``).
+
+    Every chain's block runs carve its intermediates from one per-worker
+    scratch buffer of ``plan.scratch_bytes``; two intermediates of the same
+    chain are live simultaneously within a block run, so any overlap — or
+    a block reaching outside the buffer — would corrupt results exactly
+    like an arena aliasing bug.
+    """
+    diags: List[Diagnostic] = []
+    total = getattr(plan, "scratch_bytes", 0)
+    chains = getattr(plan, "scratch_chains", None) or {}
+    for chain_id, entries in chains.items():
+        spans: List[Tuple[int, int, str]] = []
+        for name, offset, nbytes in entries:
+            if offset < 0 or offset + nbytes > total:
+                diags.append(error(
+                    PASS_ARENA_HAZARD, Location("scratch", name),
+                    f"scratch block for {name} [{offset}, "
+                    f"{offset + nbytes}) exceeds the chain-{chain_id} "
+                    f"scratch buffer of {total} bytes",
+                    "re-run the tiling pass; its layout is corrupt",
+                ))
+                continue
+            spans.append((offset, offset + nbytes, name))
+        spans.sort()
+        for (_, a_end, a_name), (b_off, b_end, b_name) in zip(
+            spans, spans[1:]
+        ):
+            if b_off < a_end:
+                diags.append(error(
+                    PASS_ARENA_HAZARD, Location("scratch", b_name),
+                    f"scratch blocks alias: {b_name} overlaps {a_name} "
+                    f"inside chain {chain_id} "
+                    f"(both live for the whole block run)",
+                    "give chain intermediates disjoint scratch offsets",
+                ))
     return diags
 
 
@@ -227,10 +271,15 @@ def hazard_pairs(
     serial-replay order. Read-read sharing is not a hazard.
     """
     view = as_view(program)
-    producer: Dict[int, int] = {}
+    # A tensor may have several writers: a tiled chain's blocks each write a
+    # disjoint row slice of the chain terminal. Writers of the *same* tensor
+    # never pair with each other (disjoint bytes by construction — the
+    # scratch check validates the layout), but every reader must wait for
+    # *all* of them.
+    producer: Dict[int, List[int]] = {}
     readers: Dict[int, List[int]] = {}
     for node in view.nodes:
-        producer[id(node.tensor)] = node.index
+        producer.setdefault(id(node.tensor), []).append(node.index)
         for operand in node.inputs:
             readers.setdefault(id(operand), []).append(node.index)
 
@@ -244,10 +293,11 @@ def hazard_pairs(
         if pairs.get(pair) != "raw":
             pairs[pair] = kind
 
-    for key, i in producer.items():
-        for j in readers.get(key, ()):
-            if j != i:
-                require(i, j, "raw")
+    for key, writers in producer.items():
+        for i in writers:
+            for j in readers.get(key, ()):
+                if j != i:
+                    require(i, j, "raw")
 
     intervals = []
     for tensor, a in plan.assignments.items():
@@ -257,15 +307,15 @@ def hazard_pairs(
     active: List[Tuple[int, int]] = []  # (end, tensor id)
     for start, end, t_key in intervals:
         active = [item for item in active if item[0] > start]
-        wt = producer.get(t_key)
+        wts = producer.get(t_key, ())
         for _, u_key in active:
-            wu = producer.get(u_key)
-            if wt is not None and wu is not None:
-                require(wt, wu, "bytes")
-            if wt is not None:
+            wus = producer.get(u_key, ())
+            for wt in wts:
+                for wu in wus:
+                    require(wt, wu, "bytes")
                 for r in readers.get(u_key, ()):
                     require(wt, r, "bytes")
-            if wu is not None:
+            for wu in wus:
                 for r in readers.get(t_key, ()):
                     require(wu, r, "bytes")
         active.append((end, t_key))
