@@ -6,6 +6,11 @@ structure + device spec + compiler options) and persisted as JSON, fronted
 by an in-memory LRU. See ``DESIGN.md`` ("Compile cache & parallel build").
 """
 
+from repro.cache.certificate_cache import (
+    CERTIFICATE_STORE_FORMAT,
+    CERTIFICATE_STORE_VERSION,
+    CertificateCache,
+)
 from repro.cache.compile_cache import (
     CACHE_DIR_ENV,
     CompileCache,
@@ -40,7 +45,10 @@ from repro.cache.store import CacheStats, JsonStore
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CERTIFICATE_STORE_FORMAT",
+    "CERTIFICATE_STORE_VERSION",
     "CacheStats",
+    "CertificateCache",
     "CompileCache",
     "JsonStore",
     "MODULE_FORMAT_VERSION",

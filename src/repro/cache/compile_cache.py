@@ -2,8 +2,9 @@
 
 Layout under one cache directory::
 
-    <dir>/schedules/<k0k1>/<key>.json   per-TE optimised schedules
-    <dir>/modules/<k0k1>/<key>.json     whole compiled modules
+    <dir>/schedules/<k0k1>/<key>.json     per-TE optimised schedules
+    <dir>/modules/<k0k1>/<key>.json       whole compiled modules
+    <dir>/certificates/<k0k1>/<key>.json  equivalence certificates
 
 Either tier can be disabled independently (the differential tests exercise
 the schedule tier with the module tier off, proving the cached-schedule
@@ -23,6 +24,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
+from repro.cache.certificate_cache import CertificateCache
 from repro.cache.module_cache import ModuleCache
 from repro.cache.schedule_cache import ScheduleCache
 
@@ -44,8 +46,10 @@ class CompileCache:
         *,
         schedules: bool = True,
         modules: bool = True,
+        certificates: bool = True,
         schedule_capacity: int = 4096,
         module_capacity: int = 64,
+        certificate_capacity: int = 256,
     ) -> None:
         self.directory = directory
 
@@ -62,11 +66,22 @@ class CompileCache:
             if modules
             else None
         )
+        self.certificates: Optional[CertificateCache] = (
+            CertificateCache(
+                subdir("certificates"), capacity=certificate_capacity
+            )
+            if certificates
+            else None
+        )
 
     def __repr__(self) -> str:
         tiers = [
             name
-            for name, tier in (("schedules", self.schedules), ("modules", self.modules))
+            for name, tier in (
+                ("schedules", self.schedules),
+                ("modules", self.modules),
+                ("certificates", self.certificates),
+            )
             if tier is not None
         ]
         where = self.directory or "memory"

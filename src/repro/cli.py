@@ -10,6 +10,8 @@ Usage::
     python -m repro compile /tmp/swin.json      # compile an exported graph
     python -m repro compile-stats bert --cache-dir /tmp/cache --repeat 2
     python -m repro lint bert --strict          # static verification
+    python -m repro lint bert --json            # machine-readable findings
+    python -m repro certify bert --strict       # translation validation
     python -m repro plan-stats bert --batch 8   # plan-optimizer report
 
 ``compile`` and ``compile-stats`` honour ``--cache-dir`` (or the
@@ -20,6 +22,7 @@ and ``--jobs`` for the parallel subprogram build pool.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional
@@ -298,7 +301,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
     graph = _resolve_model(args.model)
     module = _compiler_from_args(args).compile(graph)
     report = verify_module(module)
-    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    """Compile a model with translation validation on and certify the
+    optimized plan + batched lowering (see ``repro.verify.equiv``)."""
+    from repro.verify.equiv import certify_model
+
+    graph = _resolve_model(args.model)
+    jobs = getattr(args, "jobs", 1)
+    if jobs is not None and jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0, got {jobs}")
+    report = certify_model(
+        graph,
+        level=args.level,
+        batch_size=args.batch if args.batch > 0 else None,
+        cache=getattr(args, "cache_dir", None),
+        max_workers=None if jobs == 0 else jobs,
+        tile=args.tile,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return report.exit_code(strict=args.strict)
 
 
@@ -458,7 +488,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_accel(p)
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors (exit 1)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as machine-readable JSON")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "certify",
+        help="compile with translation validation: prove every transform "
+             "application equivalence-preserving (TE rewrites, plan "
+             "optimizer passes, tiling, batched lowering)",
+    )
+    add_common(p)
+    add_accel(p)
+    p.add_argument("--batch", type=int, default=8,
+                   help="certify the batched lowering at this batch size "
+                        "(0 = skip explicit batch; default 8)")
+    p.add_argument("--tile", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="certify the tiled plan (--no-tile certifies the "
+                        "untiled one)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat unknown verdicts as failures (exit 1)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the certificates as machine-readable JSON")
+    p.set_defaults(fn=cmd_certify)
 
     p = sub.add_parser(
         "plan-stats",

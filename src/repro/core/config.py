@@ -36,13 +36,22 @@ class SouffleOptions:
     # optimizer when profitable. On by default; only meaningful when
     # optimize_plans is on.
     tile_reductions: bool = True
+    # Translation validation (verify.equiv): emit a symbolic equivalence
+    # certificate per transform application and gate the compile on any
+    # refuted certificate. ``certify_unknown`` picks what an *unknown*
+    # verdict does: "warn" (default) renders a warning diagnostic, "fail"
+    # aborts the compile like a refutation.
+    certify: bool = False
+    certify_unknown: str = "warn"
 
     @classmethod
     def from_level(cls, level: int, validate: bool = False,
                    verify: bool = False,
                    optimize_plans: bool = True,
                    graph_executor: bool = False,
-                   tile_reductions: bool = True) -> "SouffleOptions":
+                   tile_reductions: bool = True,
+                   certify: bool = False,
+                   certify_unknown: str = "warn") -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -56,6 +65,8 @@ class SouffleOptions:
             optimize_plans=optimize_plans,
             graph_executor=graph_executor,
             tile_reductions=tile_reductions,
+            certify=certify,
+            certify_unknown=certify_unknown,
         )
 
     @property

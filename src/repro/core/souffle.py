@@ -49,6 +49,11 @@ from repro.transform.horizontal import horizontal_transform
 from repro.transform.semantics import assert_equivalent
 from repro.transform.vertical import vertical_transform
 from repro.verify import assert_verified, verify_kernels_or_raise
+from repro.verify.equiv import (
+    EquivalenceCertificate,
+    certify_te_transform,
+    gate_certificates,
+)
 
 
 class SouffleCompiler:
@@ -81,7 +86,10 @@ class SouffleCompiler:
     # ---- pipeline front half -------------------------------------------------
 
     def _front_half(
-        self, model: Union[Graph, TEProgram], stats: CompileStats
+        self,
+        model: Union[Graph, TEProgram],
+        stats: CompileStats,
+        certificates: Optional[List[EquivalenceCertificate]] = None,
     ) -> TEProgram:
         """Lowering + semantic-preserving TE transformations (Sec. 6).
 
@@ -89,9 +97,22 @@ class SouffleCompiler:
         input, so the validation chain covers the whole pipeline without
         re-checking any pair twice: original == horizontal(original) and
         horizontal(original) == vertical(horizontal(original)) together pin
-        original == final by transitivity.
+        original == final by transitivity. With ``options.certify`` the
+        same chain is discharged *statically*: every transform application
+        emits equivalence certificates (collected into ``certificates``)
+        and a refutation aborts the compile at the offending stage.
         """
         options = self.options
+
+        def certify(before: TEProgram, after: TEProgram, name: str) -> None:
+            if not options.certify or certificates is None:
+                return
+            with PhaseTimer(stats, "certify"):
+                certificate = certify_te_transform(before, after, name)
+            certificates.append(certificate)
+            gate_certificates(
+                [certificate], f"{name}_transform", options.certify_unknown
+            )
 
         with PhaseTimer(stats, "lowering"):
             program = lower_graph(model) if isinstance(model, Graph) else model
@@ -106,6 +127,7 @@ class SouffleCompiler:
                 assert_equivalent(before, program)
             if options.verify:
                 assert_verified(program, "horizontal_transform")
+            certify(before, program, "horizontal")
         if options.vertical:
             before = program
             with PhaseTimer(stats, "vertical_transform"):
@@ -114,6 +136,7 @@ class SouffleCompiler:
                 assert_equivalent(before, program)
             if options.verify:
                 assert_verified(program, "vertical_transform")
+            certify(before, program, "vertical")
         return program
 
     # ---- cache plumbing ------------------------------------------------------
@@ -160,10 +183,31 @@ class SouffleCompiler:
             if mkey is not None:
                 module = self._load_cached_module(mkey, model, stats)
                 if module is not None:
-                    return module
+                    if not options.certify:
+                        return module
+                    # Certified warm path: replay the certificates from the
+                    # cache tier (same content-addressed key as the module).
+                    # No cached certificates -> fall through to a full
+                    # certify-and-store compile; a certified compile never
+                    # silently returns an uncertified module.
+                    cached_certs = (
+                        cache.certificates.load(mkey)
+                        if cache.certificates is not None
+                        else None
+                    )
+                    if cached_certs is not None:
+                        gate_certificates(
+                            cached_certs, "cache_load",
+                            options.certify_unknown,
+                        )
+                        module.certificates = cached_certs
+                        return module
+                    stats.module_cache_hit = False
+
+        certificates: List[EquivalenceCertificate] = []
 
         # ---- lowering + semantic-preserving TE transformations (Sec. 6) -----
-        program = self._front_half(model, stats)
+        program = self._front_half(model, stats, certificates)
 
         # ---- global analysis (Sec. 5) ----------------------------------------
         with PhaseTimer(stats, "analysis"):
@@ -252,11 +296,14 @@ class SouffleCompiler:
             optimize_plans=options.optimize_plans,
             graph_executor=options.graph_executor,
             tile_reductions=options.tile_reductions,
+            certificates=certificates,
         )
 
         if cache is not None and cache.modules is not None and mkey is not None:
             with PhaseTimer(stats, "cache_store"):
                 cache.modules.store(mkey, module)
+                if options.certify and cache.certificates is not None:
+                    cache.certificates.save(mkey, certificates)
         return module
 
 
@@ -266,13 +313,16 @@ def compile_model(
     level: int = 4,
     validate: bool = False,
     verify: bool = False,
+    certify: bool = False,
     cache=None,
     max_workers: Optional[int] = 1,
 ) -> CompiledModule:
     """One-call convenience API: compile at optimisation level V0..V4."""
     compiler = SouffleCompiler(
         device=device,
-        options=SouffleOptions.from_level(level, validate, verify),
+        options=SouffleOptions.from_level(
+            level, validate, verify, certify=certify
+        ),
         cache=cache,
         max_workers=max_workers,
     )

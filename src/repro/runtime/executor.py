@@ -461,6 +461,7 @@ class ExecutionPlan:
         tile: bool = True,
         tile_budget: Optional[int] = None,
         tile_block_rows: Optional[int] = None,
+        certify: bool = False,
     ) -> None:
         if executor not in ("wave", "serial", "graph"):
             raise PlanningError(
@@ -511,6 +512,22 @@ class ExecutionPlan:
             from repro.runtime.plan_opt import optimize_plan
 
             optimize_plan(self)
+        # Translation validation of the built plan (verify.equiv): certify
+        # the optimizer's transforms and the batched lowering against this
+        # plan's program; any refuted certificate is a planning error. The
+        # report is kept on the plan for inspection (repro certify).
+        self.certification = None
+        if certify:
+            from repro.verify.equiv import certify_plan
+
+            report = certify_plan(self)
+            self.certification = report
+            refuted = report.refuted
+            if refuted:
+                raise PlanningError(
+                    "plan certification refuted: "
+                    + "; ".join(c.render() for c in refuted)
+                )
         # Task-graph executor state: compiled after optimization so the
         # dependency table covers the *final* steps (fused groups, hoisted
         # weights already stripped, elision-repacked arena).
@@ -785,6 +802,7 @@ class BatchedExecutionPlan(ExecutionPlan):
         tile: bool = True,
         tile_budget: Optional[int] = None,
         tile_block_rows: Optional[int] = None,
+        certify: bool = False,
     ) -> None:
         if batch_size < 1:
             raise PlanningError(
@@ -795,7 +813,7 @@ class BatchedExecutionPlan(ExecutionPlan):
         super().__init__(
             program, memory_plan, optimize=optimize, executor=executor,
             tile=tile, tile_budget=tile_budget,
-            tile_block_rows=tile_block_rows,
+            tile_block_rows=tile_block_rows, certify=certify,
         )
 
     def bind_batch(

@@ -125,6 +125,7 @@ class CompiledModule:
         optimize_plans: bool = True,
         graph_executor: bool = False,
         tile_reductions: bool = True,
+        certificates: Sequence = (),
     ) -> None:
         self.name = name
         self.compiler = compiler
@@ -133,6 +134,11 @@ class CompiledModule:
         self.stats = stats if stats is not None else CompileStats()
         self._program = program
         self._program_loader = program_loader
+        # Equivalence certificates from the compile's certification gates
+        # (SouffleOptions.certify; empty when certification was off). On a
+        # warm compile these are replayed from the certificate tier of the
+        # compile cache rather than re-proved.
+        self.certificates: List = list(certificates)
         # Whether sessions built from this module serve plan-optimized
         # execution plans (SouffleOptions.optimize_plans), whether they
         # replay through the task-graph scheduler instead of the wave

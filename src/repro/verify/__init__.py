@@ -27,11 +27,25 @@ from repro.verify.diagnostics import (
     Location,
     PASS_ARENA_HAZARD,
     PASS_BOUNDS,
+    PASS_EQUIVALENCE,
     PASS_SHAPE_DTYPE,
     PASS_SYNC_SAFETY,
     PASS_WELLFORMED,
     Severity,
     VerifyReport,
+)
+from repro.verify.equiv import (
+    CertificationReport,
+    Counterexample,
+    EquivalenceCertificate,
+    certify_batched_binding,
+    certify_batched_lowering,
+    certify_model,
+    certify_plan,
+    certify_plan_optimization,
+    certify_te_transform,
+    gate_certificates,
+    replay_certificate,
 )
 from repro.verify.hazards import check_arena, check_schedule_cover, hazard_pairs
 from repro.verify.shape_dtype import check_shape_dtype, infer_dtype
@@ -48,10 +62,14 @@ from repro.verify.wellformed import check_wellformed
 
 __all__ = [
     "ALL_PASSES",
+    "CertificationReport",
+    "Counterexample",
     "Diagnostic",
+    "EquivalenceCertificate",
     "Location",
     "PASS_ARENA_HAZARD",
     "PASS_BOUNDS",
+    "PASS_EQUIVALENCE",
     "PASS_SHAPE_DTYPE",
     "PASS_SYNC_SAFETY",
     "PASS_WELLFORMED",
@@ -60,8 +78,16 @@ __all__ = [
     "VerifyReport",
     "as_view",
     "assert_verified",
+    "certify_batched_binding",
+    "certify_batched_lowering",
+    "certify_model",
+    "certify_plan",
+    "certify_plan_optimization",
+    "certify_te_transform",
     "check_arena",
     "check_bounds",
+    "gate_certificates",
+    "replay_certificate",
     "check_schedule_cover",
     "check_shape_dtype",
     "check_sync",

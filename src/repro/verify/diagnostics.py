@@ -34,6 +34,12 @@ PASS_WELLFORMED = "wellformed"
 PASS_ARENA_HAZARD = "arena-hazard"
 PASS_SYNC_SAFETY = "sync-safety"
 
+# Translation validation (verify.equiv): not part of ALL_PASSES because it
+# is driven per transform application by the certifier, not by the
+# verifier's program sweep; its findings still render through the same
+# diagnostic machinery.
+PASS_EQUIVALENCE = "equivalence"
+
 ALL_PASSES = (
     PASS_BOUNDS,
     PASS_SHAPE_DTYPE,
@@ -60,6 +66,9 @@ class Location:
         base = f"{self.kind} {self.name}"
         return f"{base} ({self.detail})" if self.detail else base
 
+    def as_dict(self) -> Dict[str, Optional[str]]:
+        return {"kind": self.kind, "name": self.name, "detail": self.detail}
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -79,6 +88,33 @@ class Diagnostic:
         if self.suggestion:
             line += f"\n    hint: {self.suggestion}"
         return line
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able view (``repro lint --json``)."""
+        return {
+            "severity": self.severity.label,
+            "pass": self.pass_id,
+            "location": self.location.as_dict(),
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+    def sort_key(self) -> tuple:
+        """Total order: worst first, then pass / location / message.
+
+        Every component is part of the key so rendering the same findings
+        twice (or from two verifier runs with different pass order) emits
+        byte-identical, diff-able reports.
+        """
+        return (
+            -int(self.severity),
+            self.pass_id,
+            self.location.kind,
+            self.location.name,
+            self.location.detail or "",
+            self.message,
+            self.suggestion or "",
+        )
 
 
 def error(pass_id: str, location: Location, message: str,
@@ -141,6 +177,24 @@ class VerifyReport:
             grouped.setdefault(d.pass_id, []).append(d)
         return grouped
 
+    def deduplicated(self) -> List[Diagnostic]:
+        """Diagnostics with same-(location, message) repeats dropped.
+
+        Several passes can independently flag one defect (e.g. a corrupt
+        read trips both shape inference and bounds with the same anchored
+        message when a pass re-runs over a merged view); the rendered
+        report keeps the worst-severity instance of each (location,
+        message) pair and sorts by the total :meth:`Diagnostic.sort_key`
+        order so repeated runs diff clean.
+        """
+        best: Dict[tuple, Diagnostic] = {}
+        for d in self.diagnostics:
+            key = (str(d.location), d.message)
+            kept = best.get(key)
+            if kept is None or d.severity > kept.severity:
+                best[key] = d
+        return sorted(best.values(), key=Diagnostic.sort_key)
+
     def exit_code(self, strict: bool = False) -> int:
         """``repro lint`` contract: errors -> 1, warnings-only -> 0 unless
         ``strict`` promotes warnings to failures."""
@@ -161,10 +215,7 @@ class VerifyReport:
     def render(self, min_severity: Severity = Severity.WARNING) -> str:
         """Human-readable report: one block per diagnostic plus a summary."""
         shown = [
-            d for d in sorted(
-                self.diagnostics, key=lambda d: (-int(d.severity), d.pass_id)
-            )
-            if d.severity >= min_severity
+            d for d in self.deduplicated() if d.severity >= min_severity
         ]
         lines = [d.render() for d in shown]
         n_err, n_warn = len(self.errors), len(self.warnings)
@@ -176,6 +227,26 @@ class VerifyReport:
         if not lines:
             return summary
         return "\n".join(lines + [summary])
+
+    def to_json(self, min_severity: Severity = Severity.INFO) -> Dict[str, object]:
+        """Machine-readable report (``repro lint --json``).
+
+        Diagnostics are deduplicated and emitted in the same stable order
+        as :meth:`render`, so the JSON is byte-stable across runs; the
+        ``errors``/``warnings`` counts match :meth:`exit_code` semantics
+        (counted before the severity filter).
+        """
+        return {
+            "subject": self.subject,
+            "passes": list(self.passes_run),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [
+                d.as_dict()
+                for d in self.deduplicated()
+                if d.severity >= min_severity
+            ],
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,5 +1,7 @@
 """Diagnostic rendering, report aggregation and ``repro lint`` exit codes."""
 
+import json
+
 import pytest
 
 import repro.verify
@@ -8,6 +10,7 @@ from repro.verify import (
     Diagnostic,
     Location,
     PASS_BOUNDS,
+    PASS_SHAPE_DTYPE,
     PASS_SYNC_SAFETY,
     Severity,
     VerifyReport,
@@ -54,6 +57,74 @@ class TestRendering:
         report.add(info(PASS_BOUNDS, Location("te", "t"), "fyi"))
         assert "fyi" not in report.render()
         assert "fyi" in report.render(min_severity=Severity.INFO)
+
+
+class TestDeduplication:
+    def test_same_location_and_message_collapses_to_worst(self):
+        """Two passes flagging one defect render it once, at the worse
+        severity."""
+        report = VerifyReport(subject="unit")
+        loc = Location("te", "t", "read a[...]")
+        report.add(warning(PASS_SHAPE_DTYPE, loc, "bad read"))
+        report.add(error(PASS_BOUNDS, loc, "bad read"))
+        deduped = report.deduplicated()
+        assert len(deduped) == 1
+        assert deduped[0].severity is Severity.ERROR
+        assert report.render().count("bad read") == 1
+
+    def test_distinct_messages_survive(self):
+        report = VerifyReport(subject="unit")
+        loc = Location("te", "t")
+        report.add(error(PASS_BOUNDS, loc, "first"))
+        report.add(error(PASS_BOUNDS, loc, "second"))
+        assert len(report.deduplicated()) == 2
+
+    def test_order_is_stable_across_insertion_orders(self):
+        diags = [
+            warning(PASS_SYNC_SAFETY, Location("kernel", "k0"), "w"),
+            sample_error(),
+            info(PASS_BOUNDS, Location("te", "t"), "fyi"),
+        ]
+        forward, backward = VerifyReport(), VerifyReport()
+        forward.extend(diags)
+        backward.extend(reversed(diags))
+        assert [d.render() for d in forward.deduplicated()] == [
+            d.render() for d in backward.deduplicated()
+        ]
+
+
+class TestJsonReport:
+    def test_to_json_shape_and_counts(self):
+        report = VerifyReport(subject="unit", passes_run=[PASS_BOUNDS])
+        report.add(sample_error())
+        report.add(warning(PASS_SYNC_SAFETY, Location("kernel", "k"), "w"))
+        payload = report.to_json()
+        assert payload["subject"] == "unit"
+        assert payload["passes"] == [PASS_BOUNDS]
+        assert payload["errors"] == 1 and payload["warnings"] == 1
+        assert payload["diagnostics"][0]["severity"] == "error"
+        assert payload["diagnostics"][0]["location"]["name"] == "softmax_exp"
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_to_json_is_deduplicated_and_byte_stable(self):
+        loc = Location("te", "t")
+        a, b = VerifyReport(subject="u"), VerifyReport(subject="u")
+        a.add(error(PASS_BOUNDS, loc, "m"))
+        a.add(warning(PASS_BOUNDS, loc, "m"))
+        b.add(warning(PASS_BOUNDS, loc, "m"))
+        b.add(error(PASS_BOUNDS, loc, "m"))
+        assert len(a.to_json()["diagnostics"]) == 1
+        assert json.dumps(a.to_json(), sort_keys=True) == json.dumps(
+            b.to_json(), sort_keys=True
+        )
+
+    def test_severity_filter_keeps_counts(self):
+        report = VerifyReport(subject="u")
+        report.add(info(PASS_BOUNDS, Location("te", "t"), "fyi"))
+        report.add(sample_error())
+        payload = report.to_json(min_severity=Severity.ERROR)
+        assert len(payload["diagnostics"]) == 1
+        assert payload["errors"] == 1  # counts ignore the display filter
 
 
 class TestExitCodes:
@@ -113,3 +184,28 @@ class TestLintCli:
         )
         assert main(["lint", "mmoe"]) == 0
         assert main(["lint", "mmoe", "--strict"]) == 1
+
+    def test_lint_json_is_parseable(self, capsys):
+        assert main(["lint", "mmoe", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert "bounds" in payload["passes"]
+        assert "arena-hazard" in payload["passes"]
+
+
+class TestCertifyCli:
+    def test_certify_clean_model_exits_zero(self, capsys):
+        assert main(["certify", "mmoe"]) == 0
+        out = capsys.readouterr().out
+        assert "PROVED" in out
+        assert "0 refuted" in out
+
+    def test_certify_json_covers_all_transforms(self, capsys):
+        assert main(["certify", "mmoe", "--json", "--batch", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["refuted"] == 0 and payload["unknown"] == 0
+        transforms = {c["transform"] for c in payload["certificates"]}
+        assert {
+            "horizontal", "vertical", "hoist", "fusion", "elision",
+            "tiling", "matmul-specialize", "batched-lowering",
+        } <= transforms
