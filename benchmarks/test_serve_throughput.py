@@ -485,3 +485,155 @@ def test_tiled_reduction_smoke():
     assert plan.optimization.tiled_chains
     for a, b in zip(plan.run(feeds), want):
         assert np.array_equal(a, b)
+
+
+# ---- sharded multi-process serving (shared-memory weights) ------------------
+#
+# K worker processes map one shared-memory weight segment and serve through
+# the ShardedServer dispatcher. The aggregate-throughput floor needs real
+# cores to mean anything, so the replicas sweep always writes its table but
+# only enforces the >= 2x floor on machines with >= 4 CPUs.
+
+SHARD_FLOOR_SPEEDUP = 2.0
+SHARD_FLOOR_REPLICAS = 4
+SHARD_MODELS = ("bert", "mmoe")
+SHARD_CALLS = 48
+
+
+def _shard_traffic(program, count, seed):
+    """Name-keyed (weights, request feeds) split from one random feed set."""
+    base = random_feeds(program, seed=seed)
+    weights = {t.name: v for t, v in base.items() if t.role == "weight"}
+    lead = program.inputs[0]
+    rng = np.random.default_rng(seed + 1)
+    requests = [{lead.name: rng.standard_normal(lead.shape)}
+                for _ in range(count)]
+    return base, weights, requests
+
+
+def _serve_all(server, requests) -> float:
+    """Submit every request, wait for the last future; wall seconds."""
+    start = time.perf_counter()
+    futures = [server.submit(feeds) for feeds in requests]
+    for future in futures:
+        future.result(timeout=600)
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("name", sorted(SHARD_MODELS))
+def test_sharded_outputs_bit_identical_and_zero_copy(name):
+    """Two replicas over one weight segment: every request bit-identical
+    to a serial single-session replay, and neither replica holds a
+    private weight copy (incremental weight RSS of a replica ~ 0)."""
+    from repro.runtime.sharding import ShardedServer
+
+    graph = TINY_MODELS[name]()
+    program = lower_graph(graph)
+    base, weights, requests = _shard_traffic(program, 12, seed=31)
+    session = InferenceSession(program)
+    lead = program.inputs[0]
+    want = []
+    for request in requests:
+        feeds = dict(base)
+        feeds[lead] = request[lead.name]
+        want.append(session.run(feeds))
+
+    with ShardedServer(graph, weights, replicas=2) as server:
+        futures = [server.submit(r) for r in requests]
+        got = [f.result(timeout=600) for f in futures]
+        metrics = server.metrics()
+
+    for a, b in zip(got, want):
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y), name
+    agg = metrics["aggregate"]
+    assert agg["requests_completed"] == len(requests)
+    assert agg["weight_bytes_total"] > 0
+    for row in metrics["per_replica"]:
+        assert row["weight_bytes_mapped"] == agg["weight_bytes_total"]
+        assert row["weight_private_bytes"] == 0, (
+            f"{name}: replica {row['index']} copied "
+            f"{row['weight_private_bytes']} weight bytes"
+        )
+
+
+def test_sharded_replicas_sweep():
+    """Aggregate throughput at K=1,2,4 replicas vs the single-process
+    batching server; floor >= 2x at K=4 on BERT/MMoE (needs >= 4 cores)."""
+    import os
+
+    from repro.runtime.batching import BatchingServer
+    from repro.runtime.sharding import ShardedServer
+
+    cores = os.cpu_count() or 1
+    rows = [
+        f"{'model':10s} {'baseline r/s':>13s} {'K=1 r/s':>9s} "
+        f"{'K=2 r/s':>9s} {'K=4 r/s':>9s} {'K=4 vs base':>12s} "
+        f"{'shared MB':>10s} {'saved MB (K=4)':>15s}"
+    ]
+    speedups = {}
+    for name in SHARD_MODELS:
+        graph = TINY_MODELS[name]()
+        program = lower_graph(graph)
+        base, weights, requests = _shard_traffic(
+            program, SHARD_CALLS, seed=37
+        )
+
+        session = InferenceSession(program)
+        lead = program.inputs[0]
+        feeds0 = dict(base)
+        feeds0[lead] = requests[0][lead.name]
+        session.run(feeds0)  # warm the plan
+        baseline = BatchingServer(session, max_batch_size=8,
+                                  max_queue_delay_ms=2.0)
+        baseline.start()
+        named = []
+        for request in requests:
+            feeds = dict(base)
+            feeds[lead] = request[lead.name]
+            named.append(feeds)
+        start = time.perf_counter()
+        futures = [baseline.submit(feeds) for feeds in named]
+        for future in futures:
+            future.result(timeout=600)
+        base_s = time.perf_counter() - start
+        baseline.stop()
+
+        per_k = {}
+        shared_mb = 0.0
+        for k in (1, 2, 4):
+            with ShardedServer(graph, weights, replicas=k,
+                               max_queue_delay_ms=2.0) as server:
+                _serve_all(server, requests[:4])  # warm worker plans
+                per_k[k] = _serve_all(server, requests)
+                shared_mb = server.store.total_bytes / 1e6
+        speedups[name] = base_s / per_k[4]
+        rows.append(
+            f"{name:10s} {SHARD_CALLS / base_s:13.1f} "
+            f"{SHARD_CALLS / per_k[1]:9.1f} "
+            f"{SHARD_CALLS / per_k[2]:9.1f} "
+            f"{SHARD_CALLS / per_k[4]:9.1f} "
+            f"{speedups[name]:11.2f}x "
+            f"{shared_mb:10.2f} {3 * shared_mb:15.2f}"
+        )
+
+    rows.append("")
+    rows.append(
+        f"floor: sharded K={SHARD_FLOOR_REPLICAS} >= "
+        f"{SHARD_FLOOR_SPEEDUP:.1f}x the single-process batching server "
+        f"on {', '.join(SHARD_MODELS)} ({SHARD_CALLS} requests; "
+        f"enforced with >= 4 cores, this machine has {cores})"
+    )
+    save_table("serve_sharded", "\n".join(rows))
+
+    if cores < SHARD_FLOOR_REPLICAS:
+        pytest.skip(
+            f"{cores} cores: table written, throughput floor needs >= "
+            f"{SHARD_FLOOR_REPLICAS}"
+        )
+    for name in SHARD_MODELS:
+        assert speedups[name] >= SHARD_FLOOR_SPEEDUP, (
+            f"{name}: sharded x{SHARD_FLOOR_REPLICAS} only "
+            f"{speedups[name]:.2f}x the single-process server "
+            f"(floor {SHARD_FLOOR_SPEEDUP}x)"
+        )

@@ -252,6 +252,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         exact = exact and exact_batch
 
+    if args.replicas > 0:
+        exact = _serve_bench_sharded(args, graph, feeds) and exact
+
     if args.concurrency > 0:
         import threading
 
@@ -292,6 +295,83 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     print()
     print(report.render(top=args.top))
     return 0 if exact else 1
+
+
+def _serve_bench_sharded(args: argparse.Namespace, graph, feeds) -> bool:
+    """Sharded multi-process serving vs the single-process batching server.
+
+    Every replica maps the same shared-memory weight blob, so adding
+    replicas costs CPU but (to first order) no weight memory; the printed
+    metrics include the per-replica private weight bytes to prove it.
+    """
+    import numpy as np
+
+    from repro.runtime.batching import BatchingServer
+    from repro.runtime.session import InferenceSession
+    from repro.runtime.sharding import ShardedServer
+
+    # The sharded workers lower the graph themselves (no compiler TE
+    # rewrites), so the reference must replay the same lowering — the
+    # compiled ``module.program`` computes rewritten expressions whose
+    # floats differ in the last bit.
+    ref_program = lower_graph(graph)
+    by_name = {t.name: v for t, v in feeds.items()}
+    ref_feeds = {t: by_name[t.name] for t in ref_program.inputs}
+    weights = {t.name: v for t, v in ref_feeds.items()
+               if t.role == "weight"}
+    lead = ref_program.inputs[0]
+    rng = np.random.default_rng(args.seed + 2)
+    requests = []
+    for _ in range(args.calls):
+        request = dict(ref_feeds)
+        request[lead] = (ref_feeds[lead]
+                         + rng.standard_normal(lead.shape) * 0.01)
+        requests.append(request)
+    batch = args.batch if args.batch > 1 else 8
+
+    # Serial reference for the bit-identity check.
+    ref = InferenceSession(ref_program, name=graph.name, tile=args.tile)
+    serial = [ref.run(request) for request in requests]
+
+    # Baseline: one process, one session, dynamic batching.
+    baseline = BatchingServer(ref, max_batch_size=batch,
+                              max_queue_delay_ms=2.0)
+    baseline.start()
+    start = time.perf_counter()
+    base_futs = [baseline.submit(request) for request in requests]
+    for fut in base_futs:
+        fut.result(timeout=300)
+    base_seconds = time.perf_counter() - start
+    baseline.stop()
+
+    server = ShardedServer(
+        graph, weights, replicas=args.replicas, policy=args.policy,
+        max_batch_size=batch, max_queue_delay_ms=2.0, tile=args.tile,
+    )
+    with server:
+        start = time.perf_counter()
+        futs = [
+            server.submit({t.name: request[t] for t in ref_program.inputs
+                           if t.role != "weight"})
+            for request in requests
+        ]
+        results = [fut.result(timeout=300) for fut in futs]
+        shard_seconds = time.perf_counter() - start
+        report = server.render_metrics()
+    exact = all(
+        np.array_equal(got, want)
+        for outs, want_outs in zip(results, serial)
+        for got, want in zip(outs, want_outs)
+    )
+    print(
+        f"\nsharded serving ({args.replicas} replicas, {args.policy}): "
+        f"{args.calls / shard_seconds:.1f} req/s vs "
+        f"{args.calls / base_seconds:.1f} req/s single-process "
+        f"({base_seconds / shard_seconds:.2f}x), "
+        f"bit-identical: {exact}"
+    )
+    print(report)
+    return exact
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -361,7 +441,8 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
             else ExecutionPlan(program, optimize=True, executor=executor,
                                tile=args.tile)
         )
-        stats = plan.optimization.stats
+        optimization = plan.optimization
+        stats = optimization.stats
         graph_stats = (
             plan.task_graph.stats if plan.task_graph is not None else None
         )
@@ -372,8 +453,9 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
         # structure-only builder.
         graph = _resolve_model(args.model)
         program = lower_graph(graph)
-        stats = plan_optimization(program, batch_size=batch,
-                                  tile=args.tile).stats
+        optimization = plan_optimization(program, batch_size=batch,
+                                         tile=args.tile)
+        stats = optimization.stats
         graph_stats = None
         if args.executor == "graph":
             from repro.runtime.task_graph import task_graph_stats
@@ -386,6 +468,36 @@ def cmd_plan_stats(args: argparse.Namespace) -> int:
     if graph_stats is not None:
         print(f"task graph: {graph.name}{suffix}")
         print(graph_stats.render())
+    if args.replicas > 0:
+        from repro.runtime.executor import EXEC_ITEMSIZE
+
+        # Static sharded-serving memory report: the weight table and the
+        # hoisted precompute boundary are immutable at serve time, so a
+        # sharded deployment places them once in shared memory instead of
+        # once per replica.
+        weight_bytes = sum(
+            t.num_elements * EXEC_ITEMSIZE
+            for t in program.inputs if t.role == "weight"
+        )
+        boundary = optimization.hoist_boundary
+        boundary_bytes = sum(
+            t.num_elements * EXEC_ITEMSIZE for t in boundary
+        )
+        shared = weight_bytes + boundary_bytes
+        k = args.replicas
+        print(f"sharded serving ({k} replicas):")
+        print(
+            f"  weights: {weight_bytes / 1e6:.2f} MB "
+            f"({sum(1 for t in program.inputs if t.role == 'weight')} "
+            f"tensors), hoisted boundary: {boundary_bytes / 1e6:.2f} MB "
+            f"({len(boundary)} tensors)"
+        )
+        print(
+            f"  per-process copies: {k * shared / 1e6:.2f} MB — "
+            f"shared-memory placement: {shared / 1e6:.2f} MB "
+            f"(saves {(k - 1) * shared / 1e6:.2f} MB, "
+            f"{(1 - 1 / k) * 100:.0f}%)"
+        )
     return 0
 
 
@@ -476,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=0,
                    help="drive a dynamic-batching server with this many "
                         "client threads (0 = off)")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="also serve through this many sharded worker "
+                        "processes mapping one shared-memory weight blob, "
+                        "vs the single-process batching server (0 = off)")
+    p.add_argument("--policy", choices=("round-robin", "least-outstanding"),
+                   default="least-outstanding",
+                   help="sharded dispatch policy (default least-outstanding)")
     p.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -534,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with 'graph', also report the compiled task "
                         "graph (task count, dependency edges, critical "
                         "path, max ready-width)")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="also report the sharded-serving weight memory at "
+                        "this replica count: bytes duplicated per process "
+                        "vs placed once in shared memory (0 = off)")
     p.set_defaults(fn=cmd_plan_stats)
 
     p = sub.add_parser("export", help="export a model to the JSON format")

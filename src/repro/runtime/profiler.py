@@ -262,6 +262,13 @@ class ExecutionProfile:
     total_seconds: float
     workspace_bytes: int
     arenas_allocated: int
+    # Arena-pool accounting: arenas dropped past the max_pool bound, arenas
+    # idle in the pools at report time, and the most arenas ever live at
+    # once (in-use + pooled) — what a sharded dispatcher reads to size
+    # replicas.
+    arenas_trimmed: int = 0
+    arenas_pooled: int = 0
+    pool_high_water: int = 0
     steps: List[StepTiming] = field(default_factory=list)
     p50_us: float = 0.0
     p95_us: float = 0.0
@@ -296,6 +303,12 @@ class ExecutionProfile:
             f"{self.workspace_bytes / 1e6:.2f} MB arena "
             f"x{self.arenas_allocated}",
         ]
+        if self.arenas_trimmed or self.pool_high_water:
+            lines.append(
+                f"arena pool: high water {self.pool_high_water}, "
+                f"{self.arenas_pooled} pooled, "
+                f"{self.arenas_trimmed} trimmed"
+            )
         if self.batching is not None:
             lines.append(self.batching.render())
         if self.optimizer_summary is not None:

@@ -9,6 +9,20 @@ overlapping requests grow the pool to at most N workspaces. The pool is
 bounded by ``max_pool`` — arenas released beyond the cap are dropped so a
 traffic burst cannot pin peak-concurrency memory forever.
 
+The session is split into two halves with distinct sharing stories:
+
+* :class:`PlanState` — the immutable, shareable half: the program, the
+  compiled :class:`ExecutionPlan`, lazily-built per-bucket
+  :class:`BatchedExecutionPlan` replicas, and a bound weight table
+  (server-owned feeds merged into every request). One ``PlanState`` can
+  back many sessions — across threads in one process, and (rebuilt over
+  shared-memory weight views) across the worker processes of a
+  :class:`~repro.runtime.sharding.ShardedServer`.
+* :class:`ArenaState` — the per-replica mutable half: arena pools, pool
+  accounting (allocated / in-use / trimmed / high-water), latency ring and
+  per-step timings, all guarded by a single lock so ``max_pool``
+  enforcement is race-free under concurrent ``run``/``run_batch``.
+
 The session is also the batched execution entry point: :meth:`run_batch`
 routes a list of concurrent requests through per-bucket
 :class:`~repro.runtime.executor.BatchedExecutionPlan` replays (power-of-two
@@ -16,7 +30,8 @@ routes a list of concurrent requests through per-bucket
 falling back to the unbatched plan for batch-1 traffic. Cross-request
 dynamic batching — queueing, dispatch policy, futures — lives one layer up
 in :class:`~repro.runtime.batching.BatchingServer`; :meth:`serve` builds
-one over this session.
+one over this session. Cross-process sharding lives in
+:class:`~repro.runtime.sharding.ShardedServer`.
 
 The session also feeds the profiler: per-request wall latency is always
 recorded (two clock reads plus a bounded ring buffer for p50/p95/p99),
@@ -67,31 +82,26 @@ def resolve_feeds_by_name(
     return resolved
 
 
-class InferenceSession:
-    """Compile-once, replay-many serving wrapper around one TE program."""
+class PlanState:
+    """The immutable, shareable half of a session.
+
+    Holds everything that is compiled once and read-only afterwards: the
+    program, the unbatched :class:`ExecutionPlan`, the per-bucket batched
+    plans (built lazily under a lock, then never mutated), and an optional
+    bound weight table. Many sessions — threads or processes — can serve
+    from one ``PlanState``; each brings its own :class:`ArenaState`.
+    """
 
     def __init__(
         self,
         program: TEProgram,
-        name: Optional[str] = None,
-        profile: bool = False,
         plan: Optional[ExecutionPlan] = None,
-        max_pool: int = DEFAULT_MAX_POOL,
         batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
-        latency_window: int = DEFAULT_LATENCY_WINDOW,
         optimize: bool = True,
         executor: str = "wave",
         tile: bool = True,
     ) -> None:
-        self.name = name if name is not None else program.name
-        # Serving defaults to optimized plans (the pass pipeline is proven
-        # bit-identical at plan time); ``optimize=False`` serves the plain
-        # lowering, and an explicit ``plan`` is used as-is either way.
-        # ``executor`` picks the replay engine for the session's plan *and*
-        # its per-bucket batched plans: "wave" (default), "serial", or
-        # "graph" (the task-graph scheduler, see runtime.task_graph).
-        # ``tile`` gates the optimizer's block-level tiling of reduction
-        # chains (runtime.tiling) for the plan and its batched buckets.
+        self.program = program
         self.optimize = optimize
         self.tile = tile
         self.plan = (
@@ -101,10 +111,6 @@ class InferenceSession:
         )
         # An explicit plan wins: batched buckets follow its engine choice.
         self.executor = self.plan.executor_kind
-        self.profile = profile
-        if max_pool < 1:
-            raise ExecutionError(f"max_pool must be >= 1, got {max_pool}")
-        self.max_pool = max_pool
         buckets = sorted(set(int(b) for b in batch_buckets))
         if not buckets or buckets[0] < 2:
             raise ExecutionError(
@@ -113,63 +119,64 @@ class InferenceSession:
             )
         self.batch_buckets: Tuple[int, ...] = tuple(buckets)
         self._lock = threading.Lock()
-        self._free_arenas: List[Arena] = []
-        self._free_batched: Dict[int, List[Arena]] = {}
         self._batched_plans: Dict[int, BatchedExecutionPlan] = {}
         self.unbatchable_buckets: set = set()
-        self.arenas_allocated = 0
-        self.arenas_trimmed = 0
-        self.request_count = 0
-        self.request_seconds = 0.0
-        self.last_latency_s = 0.0
-        self.batches_executed = 0
-        self.batched_requests = 0
-        self._occupancy_sum = 0.0
-        self._latencies: deque = deque(maxlen=latency_window)
-        self._step_seconds = [0.0] * self.plan.num_steps
-        self._step_calls = 0
+        # Server-owned feeds (weights), merged under every request's feeds.
+        # Bound once through the plan's converter — shared-memory float64
+        # views pass through zero-copy — and used as stable identity keys
+        # for the hoist cache.
+        self.weight_feeds: Dict[Tensor, np.ndarray] = {}
+        self.hoisted_by_name: Dict[str, np.ndarray] = {}
 
-    # ---- arena pool ------------------------------------------------------
+    # ---- weights ---------------------------------------------------------
 
-    def _acquire_arena(self, bucket: Optional[int] = None) -> Arena:
-        """Check an arena out of the (per-bucket) pool, allocating on miss."""
+    def bind_weights(
+        self,
+        weights_by_name: Mapping[str, np.ndarray],
+        hoisted_by_name: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Install server-owned weight feeds and pre-warm the hoist cache.
+
+        ``weights_by_name`` maps placeholder names to arrays; each is
+        converted once through the plan's binder (zero-copy for contiguous
+        float64, e.g. shared-memory views) and merged under every request.
+        ``hoisted_by_name`` optionally supplies precomputed hoist-boundary
+        values (a warm weight store) so the hoisted subgraph never runs in
+        this process. Returns the hoist-boundary values by name — computing
+        them now if they were not supplied — for persisting to a store.
+        """
+        resolved = resolve_feeds_by_name(self.program, weights_by_name)
+        bound: Dict[Tensor, np.ndarray] = {
+            t: self.plan._bind_one(t, v) for t, v in resolved.items()
+        }
         with self._lock:
-            pool = (
-                self._free_arenas
-                if bucket is None
-                else self._free_batched.setdefault(bucket, [])
-            )
-            if pool:
-                return pool.pop()
-            self.arenas_allocated += 1
-            plan = self.plan if bucket is None else self._batched_plans[bucket]
-        return plan.new_arena()
-
-    def _release_arena(self, arena: Arena, bucket: Optional[int] = None) -> None:
-        """Return an arena to its pool, dropping it beyond ``max_pool``."""
+            self.weight_feeds = bound
+        boundary = self.plan.seed_hoist_values(
+            bound, values_by_name=hoisted_by_name
+        )
+        self.hoisted_by_name = dict(boundary)
+        # Seed any batched plans that already exist; later builds are
+        # seeded in batch_plan().
         with self._lock:
-            pool = (
-                self._free_arenas
-                if bucket is None
-                else self._free_batched.setdefault(bucket, [])
-            )
-            if len(pool) < self.max_pool:
-                pool.append(arena)
-            else:
-                self.arenas_trimmed += 1
+            built = list(self._batched_plans.values())
+        for bp in built:
+            bp.seed_hoist_values(bound, values_by_name=self.hoisted_by_name)
+        return dict(boundary)
+
+    def with_weights(
+        self, feeds: Mapping[Tensor, np.ndarray]
+    ) -> Mapping[Tensor, np.ndarray]:
+        """Merge the weight table under one request's feeds (request wins)."""
+        if not self.weight_feeds:
+            return feeds
+        merged: Dict[Tensor, np.ndarray] = dict(self.weight_feeds)
+        merged.update(feeds)
+        return merged
 
     @property
-    def arenas_pooled(self) -> int:
-        """Arenas currently idle in the pools (unbatched + every bucket)."""
-        with self._lock:
-            return len(self._free_arenas) + sum(
-                len(pool) for pool in self._free_batched.values()
-            )
-
-    @property
-    def workspace_bytes(self) -> int:
-        """Bytes of one unbatched arena (batched buckets scale with B)."""
-        return self.plan.workspace_bytes
+    def weight_bytes(self) -> int:
+        """Total bytes of the bound weight table (one copy)."""
+        return sum(v.nbytes for v in self.weight_feeds.values())
 
     # ---- batched plans ---------------------------------------------------
 
@@ -199,9 +206,14 @@ class InferenceSession:
             )
             with self._lock:
                 plan = self._batched_plans.setdefault(bucket, built)
+            if plan is built and self.weight_feeds:
+                plan.seed_hoist_values(
+                    self.weight_feeds,
+                    values_by_name=self.hoisted_by_name or None,
+                )
         return plan
 
-    def _batch_plan_or_none(
+    def batch_plan_or_none(
         self, bucket: int
     ) -> Optional[BatchedExecutionPlan]:
         """Like :meth:`batch_plan` but a build failure disables the bucket.
@@ -220,10 +232,277 @@ class InferenceSession:
                 self.unbatchable_buckets.add(bucket)
             return None
 
+
+class ArenaState:
+    """The per-replica mutable half of a session.
+
+    Owns the arena pools (unbatched + one per batched bucket) and every
+    request-level counter. All mutation happens under one lock, which makes
+    the ``max_pool`` bound race-free when ``run`` and ``run_batch`` overlap
+    from many threads: an arena is counted in-use from the moment it leaves
+    a pool until the release decision (keep vs. trim) is taken, and both
+    transitions happen inside the lock.
+    """
+
+    def __init__(
+        self,
+        max_pool: int = DEFAULT_MAX_POOL,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+        num_steps: int = 0,
+    ) -> None:
+        if max_pool < 1:
+            raise ExecutionError(f"max_pool must be >= 1, got {max_pool}")
+        self.max_pool = max_pool
+        self.lock = threading.Lock()
+        self._free_arenas: List[Arena] = []
+        self._free_batched: Dict[int, List[Arena]] = {}
+        self.arenas_allocated = 0
+        self.arenas_trimmed = 0
+        self.arenas_in_use = 0
+        self.pool_high_water = 0
+        self.request_count = 0
+        self.request_seconds = 0.0
+        self.last_latency_s = 0.0
+        self.batches_executed = 0
+        self.batched_requests = 0
+        self.occupancy_sum = 0.0
+        self.latencies: deque = deque(maxlen=latency_window)
+        self.step_seconds = [0.0] * num_steps
+        self.step_calls = 0
+
+    def _pool(self, bucket: Optional[int]) -> List[Arena]:
+        if bucket is None:
+            return self._free_arenas
+        return self._free_batched.setdefault(bucket, [])
+
+    def pooled(self) -> int:
+        """Arenas currently idle in the pools (unbatched + every bucket)."""
+        with self.lock:
+            return len(self._free_arenas) + sum(
+                len(pool) for pool in self._free_batched.values()
+            )
+
+    def note_high_water(self) -> None:
+        """Update the high-water mark (lock held by caller)."""
+        live = (
+            self.arenas_in_use
+            + len(self._free_arenas)
+            + sum(len(p) for p in self._free_batched.values())
+        )
+        if live > self.pool_high_water:
+            self.pool_high_water = live
+
+
+class InferenceSession:
+    """Compile-once, replay-many serving wrapper around one TE program."""
+
+    def __init__(
+        self,
+        program: TEProgram,
+        name: Optional[str] = None,
+        profile: bool = False,
+        plan: Optional[ExecutionPlan] = None,
+        max_pool: int = DEFAULT_MAX_POOL,
+        batch_buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+        optimize: bool = True,
+        executor: str = "wave",
+        tile: bool = True,
+        plan_state: Optional[PlanState] = None,
+    ) -> None:
+        self.name = name if name is not None else program.name
+        # Serving defaults to optimized plans (the pass pipeline is proven
+        # bit-identical at plan time); ``optimize=False`` serves the plain
+        # lowering, and an explicit ``plan`` is used as-is either way.
+        # ``executor`` picks the replay engine for the session's plan *and*
+        # its per-bucket batched plans: "wave" (default), "serial", or
+        # "graph" (the task-graph scheduler, see runtime.task_graph).
+        # ``tile`` gates the optimizer's block-level tiling of reduction
+        # chains (runtime.tiling) for the plan and its batched buckets.
+        if plan_state is None:
+            plan_state = PlanState(
+                program, plan=plan, batch_buckets=batch_buckets,
+                optimize=optimize, executor=executor, tile=tile,
+            )
+        self.plan_state = plan_state
+        self.profile = profile
+        self.arena_state = ArenaState(
+            max_pool=max_pool,
+            latency_window=latency_window,
+            num_steps=plan_state.plan.num_steps,
+        )
+
+    @classmethod
+    def from_plan_state(
+        cls,
+        plan_state: PlanState,
+        name: Optional[str] = None,
+        profile: bool = False,
+        max_pool: int = DEFAULT_MAX_POOL,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+    ) -> "InferenceSession":
+        """A fresh replica over a shared :class:`PlanState` — its own arena
+        pools and metrics, the same compiled plans and weight table."""
+        return cls(
+            plan_state.program,
+            name=name,
+            profile=profile,
+            max_pool=max_pool,
+            latency_window=latency_window,
+            plan_state=plan_state,
+        )
+
+    # ---- shared-state delegation (back-compat surface) -------------------
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.plan_state.plan
+
+    @property
+    def optimize(self) -> bool:
+        return self.plan_state.optimize
+
+    @property
+    def tile(self) -> bool:
+        return self.plan_state.tile
+
+    @property
+    def executor(self) -> str:
+        return self.plan_state.executor
+
+    @property
+    def batch_buckets(self) -> Tuple[int, ...]:
+        return self.plan_state.batch_buckets
+
+    @property
+    def _batched_plans(self) -> Dict[int, BatchedExecutionPlan]:
+        return self.plan_state._batched_plans
+
+    @property
+    def unbatchable_buckets(self) -> set:
+        return self.plan_state.unbatchable_buckets
+
+    @property
+    def max_pool(self) -> int:
+        return self.arena_state.max_pool
+
+    @property
+    def _free_arenas(self) -> List[Arena]:
+        return self.arena_state._free_arenas
+
+    @property
+    def _lock(self) -> threading.Lock:
+        return self.arena_state.lock
+
+    @property
+    def arenas_allocated(self) -> int:
+        return self.arena_state.arenas_allocated
+
+    @property
+    def arenas_trimmed(self) -> int:
+        return self.arena_state.arenas_trimmed
+
+    @property
+    def arenas_in_use(self) -> int:
+        return self.arena_state.arenas_in_use
+
+    @property
+    def pool_high_water(self) -> int:
+        return self.arena_state.pool_high_water
+
+    @property
+    def request_count(self) -> int:
+        return self.arena_state.request_count
+
+    @property
+    def request_seconds(self) -> float:
+        return self.arena_state.request_seconds
+
+    @property
+    def last_latency_s(self) -> float:
+        return self.arena_state.last_latency_s
+
+    @property
+    def batches_executed(self) -> int:
+        return self.arena_state.batches_executed
+
+    @property
+    def batched_requests(self) -> int:
+        return self.arena_state.batched_requests
+
+    # ---- arena pool ------------------------------------------------------
+
+    def _acquire_arena(self, bucket: Optional[int] = None) -> Arena:
+        """Check an arena out of the (per-bucket) pool, allocating on miss."""
+        state = self.arena_state
+        with state.lock:
+            pool = state._pool(bucket)
+            state.arenas_in_use += 1
+            if pool:
+                return pool.pop()
+            state.arenas_allocated += 1
+            plan = (
+                self.plan if bucket is None
+                else self.plan_state._batched_plans[bucket]
+            )
+        arena = plan.new_arena()
+        with state.lock:
+            state.note_high_water()
+        return arena
+
+    def _release_arena(self, arena: Arena, bucket: Optional[int] = None) -> None:
+        """Return an arena to its pool, dropping it beyond ``max_pool``."""
+        state = self.arena_state
+        with state.lock:
+            state.arenas_in_use -= 1
+            pool = state._pool(bucket)
+            if len(pool) < state.max_pool:
+                pool.append(arena)
+            else:
+                state.arenas_trimmed += 1
+            state.note_high_water()
+
+    @property
+    def arenas_pooled(self) -> int:
+        """Arenas currently idle in the pools (unbatched + every bucket)."""
+        return self.arena_state.pooled()
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes of one unbatched arena (batched buckets scale with B)."""
+        return self.plan.workspace_bytes
+
+    # ---- batched plans ---------------------------------------------------
+
+    def select_batch_bucket(self, n: int) -> int:
+        return self.plan_state.select_batch_bucket(n)
+
+    def batch_plan(self, bucket: int) -> BatchedExecutionPlan:
+        """The batched plan for one bucket (compiled lazily, cached)."""
+        return self.plan_state.batch_plan(bucket)
+
+    def _batch_plan_or_none(
+        self, bucket: int
+    ) -> Optional[BatchedExecutionPlan]:
+        # Routed through self.batch_plan (not PlanState directly) so a
+        # session-level override sees the build attempt; the unbatchable
+        # set itself is shared state on the PlanState.
+        state = self.plan_state
+        with state._lock:
+            if bucket in state.unbatchable_buckets:
+                return None
+        try:
+            return self.batch_plan(bucket)
+        except (ExecutionError, PlanningError):
+            with state._lock:
+                state.unbatchable_buckets.add(bucket)
+            return None
+
     # ---- execution -------------------------------------------------------
 
     def run(self, feeds: Mapping[Tensor, np.ndarray]) -> List[np.ndarray]:
         """Execute one request; returns outputs in program order."""
+        feeds = self.plan_state.with_weights(feeds)
         bound = self.plan.bind_feeds(feeds)
         arena = self._acquire_arena()
         local_steps = [0.0] * self.plan.num_steps if self.profile else None
@@ -292,6 +571,7 @@ class InferenceSession:
             for i in range(0, n, bucket):
                 results.extend(self._run_chunk(chunk[i:i + bucket]))
             return results
+        chunk = [self.plan_state.with_weights(feeds) for feeds in chunk]
         padded = chunk + [chunk[-1]] * (bucket - n)
         bound = plan.bind_batch(padded)
         arena = self._acquire_arena(bucket)
@@ -314,20 +594,21 @@ class InferenceSession:
         local_steps: Optional[List[float]],
         bucket: Optional[int] = None,
     ) -> None:
-        with self._lock:
-            self.request_count += requests
-            self.request_seconds += elapsed
-            self.last_latency_s = elapsed
+        state = self.arena_state
+        with state.lock:
+            state.request_count += requests
+            state.request_seconds += elapsed
+            state.last_latency_s = elapsed
             # Every request in a batch waited for the whole replay.
-            self._latencies.extend([elapsed] * requests)
+            state.latencies.extend([elapsed] * requests)
             if bucket is not None:
-                self.batches_executed += 1
-                self.batched_requests += requests
-                self._occupancy_sum += requests / bucket
+                state.batches_executed += 1
+                state.batched_requests += requests
+                state.occupancy_sum += requests / bucket
             if local_steps is not None:
-                self._step_calls += 1
+                state.step_calls += 1
                 for i, seconds in enumerate(local_steps):
-                    self._step_seconds[i] += seconds
+                    state.step_seconds[i] += seconds
 
     # ---- serving ---------------------------------------------------------
 
@@ -362,14 +643,16 @@ class InferenceSession:
     @property
     def mean_batch_occupancy(self) -> float:
         """Mean fraction of batch lanes carrying real requests."""
-        if self.batches_executed == 0:
+        state = self.arena_state
+        if state.batches_executed == 0:
             return 0.0
-        return self._occupancy_sum / self.batches_executed
+        return state.occupancy_sum / state.batches_executed
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 request latency (seconds) over the bounded window."""
-        with self._lock:
-            window = list(self._latencies)
+        state = self.arena_state
+        with state.lock:
+            window = list(state.latencies)
         if not window:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         arr = np.asarray(window)
@@ -390,14 +673,16 @@ class InferenceSession:
 
         percentiles = self.latency_percentiles()
         graph_exec = self.plan.graph_executor
-        with self._lock:
+        pooled = self.arenas_pooled
+        state = self.arena_state
+        with state.lock:
             steps = [
                 StepTiming(
                     index=step.index,
                     name=step.name,
                     kind=step.kind,
-                    calls=self._step_calls,
-                    total_seconds=self._step_seconds[step.index],
+                    calls=state.step_calls,
+                    total_seconds=state.step_seconds[step.index],
                     queue_seconds=(
                         graph_exec.step_queue_seconds[step.index]
                         if graph_exec is not None else 0.0
@@ -419,19 +704,24 @@ class InferenceSession:
                     occupancy=graph_exec.occupancy,
                 )
             batching = None
-            if self.batches_executed:
+            if state.batches_executed:
                 batching = BatchStats(
-                    batches=self.batches_executed,
-                    batched_requests=self.batched_requests,
-                    mean_occupancy=self._occupancy_sum / self.batches_executed,
+                    batches=state.batches_executed,
+                    batched_requests=state.batched_requests,
+                    mean_occupancy=(
+                        state.occupancy_sum / state.batches_executed
+                    ),
                 )
             optimization = self.plan.optimization
             return ExecutionProfile(
                 session_name=self.name,
-                requests=self.request_count,
-                total_seconds=self.request_seconds,
+                requests=state.request_count,
+                total_seconds=state.request_seconds,
                 workspace_bytes=self.workspace_bytes,
-                arenas_allocated=self.arenas_allocated,
+                arenas_allocated=state.arenas_allocated,
+                arenas_trimmed=state.arenas_trimmed,
+                arenas_pooled=pooled,
+                pool_high_water=state.pool_high_water,
                 steps=steps,
                 p50_us=percentiles["p50"] * 1e6,
                 p95_us=percentiles["p95"] * 1e6,

@@ -145,11 +145,22 @@ class TestHoisting:
         plan.run(feeds)
         assert plan.hoist_evaluations == 1
 
-        # Fresh weight arrays are a new weight-set: recompute once.
+        # Fresh array objects with the same bytes (a respawned worker
+        # re-binding the same weights): the content-hash fallback aliases
+        # the cached prologue instead of re-hoisting.
         fresh = {t: np.array(v) for t, v in feeds.items()}
         plan.run(fresh)
-        assert plan.hoist_evaluations == 2
+        assert plan.hoist_evaluations == 1
+        assert plan.hoist_content_hits == 1
         plan.run(fresh)
+        assert plan.hoist_evaluations == 1
+        assert plan.hoist_content_hits == 1  # identity hit, no rehash
+
+        # Mutated weight bytes are a genuinely new weight-set: recompute.
+        mutated = {t: np.array(v) for t, v in feeds.items()}
+        weight = next(t for t in mutated if t.role == "weight")
+        mutated[weight] = mutated[weight] + 1.0
+        plan.run(mutated)
         assert plan.hoist_evaluations == 2
 
     def test_batched_plan_hoists_too(self):
