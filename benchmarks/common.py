@@ -80,3 +80,20 @@ def save_table(name: str, text: str) -> None:
     with open(path, "w") as handle:
         handle.write(text + "\n")
     print(f"\n[{name}]\n{text}")
+
+
+def save_json(name: str, payload) -> str:
+    """Persist a machine-readable benchmark result next to its table.
+
+    ``benchmarks/results/<name>.json`` — one JSON document per benchmark,
+    so CI and regression tooling can compare runs without scraping the
+    rendered tables.
+    """
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

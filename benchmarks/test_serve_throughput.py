@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from common import MODEL_NAMES, save_table
+from common import MODEL_NAMES, save_json, save_table
 
 from repro.graph.lowering import lower_graph
 from repro.models import TINY_MODELS
@@ -98,6 +98,7 @@ def test_serve_throughput(programs):
         f"{'speedup':>8s} {'plan req/s':>11s} {'arena kB':>9s} {'steps':>6s}"
     ]
     speedups = {}
+    records = []
     for name in MODEL_NAMES:
         program = programs[name]
         feeds = random_feeds(program, seed=5)
@@ -109,6 +110,15 @@ def test_serve_throughput(programs):
         plan_s = _time_loop(lambda: session.run(feeds))
         speedup = interp_s / plan_s
         speedups[name] = speedup
+        records.append({
+            "model": name,
+            "interp_ms_per_req": interp_s / CALLS * 1e3,
+            "plan_ms_per_req": plan_s / CALLS * 1e3,
+            "speedup": speedup,
+            "plan_req_per_s": CALLS / plan_s,
+            "workspace_bytes": session.workspace_bytes,
+            "steps": session.plan.num_steps,
+        })
         rows.append(
             f"{name:14s} {interp_s / CALLS * 1e3:10.3f} "
             f"{plan_s / CALLS * 1e3:9.3f} {speedup:8.2f} "
@@ -123,6 +133,14 @@ def test_serve_throughput(programs):
         f"on {', '.join(FLOOR_MODELS)} ({CALLS} calls, best of {BEST_OF})"
     )
     save_table("serve_throughput", "\n".join(rows))
+    save_json("serve_throughput", {
+        "benchmark": "serve_throughput",
+        "calls": CALLS,
+        "best_of": BEST_OF,
+        "floor_speedup": FLOOR_SPEEDUP,
+        "floor_models": list(FLOOR_MODELS),
+        "results": records,
+    })
 
     for name in FLOOR_MODELS:
         assert speedups[name] >= FLOOR_SPEEDUP, (
@@ -148,6 +166,7 @@ def test_optimized_plan_latency(programs):
         f"{'steps':>11s} {'matmul':>7s} {'fused':>6s} {'elided kB':>10s}"
     ]
     speedups = {}
+    records = []
     for name in MODEL_NAMES:
         program = programs[name]
         feeds = random_feeds(program, seed=5)
@@ -161,6 +180,17 @@ def test_optimized_plan_latency(programs):
         speedup = plain_s / opt_s
         speedups[name] = speedup
         stats = optimized.plan.optimization.stats
+        records.append({
+            "model": name,
+            "plain_ms_per_req": plain_s / CALLS * 1e3,
+            "optimized_ms_per_req": opt_s / CALLS * 1e3,
+            "speedup": speedup,
+            "steps_before": stats.steps_before,
+            "steps_after": stats.steps_after,
+            "specialized_contractions": stats.specialized_contractions,
+            "fused_steps": stats.fused_steps,
+            "elided_bytes": stats.elided_bytes,
+        })
         rows.append(
             f"{name:14s} {plain_s / CALLS * 1e3:9.3f} "
             f"{opt_s / CALLS * 1e3:8.3f} {speedup:8.2f} "
@@ -176,11 +206,78 @@ def test_optimized_plan_latency(programs):
         f"({CALLS} calls, best of {BEST_OF})"
     )
     save_table("serve_optimized_plan", "\n".join(rows))
+    save_json("serve_optimized_plan", {
+        "benchmark": "serve_optimized_plan",
+        "calls": CALLS,
+        "best_of": BEST_OF,
+        "floor_speedup": OPT_FLOOR_SPEEDUP,
+        "floor_models": list(FLOOR_MODELS),
+        "results": records,
+    })
 
     for name in FLOOR_MODELS:
         assert speedups[name] >= OPT_FLOOR_SPEEDUP, (
             f"{name}: optimized plan only {speedups[name]:.2f}x faster than "
             f"the baseline plan (floor {OPT_FLOOR_SPEEDUP}x)"
+        )
+
+
+# ---- profile-guided tuning --------------------------------------------------
+#
+# The tuner acceptance floor: when the static tiling heuristic mispredicts
+# (cache budget pinned far below the real machine's), the measured cost
+# model must reject the unprofitable chains and the A/B harness must adopt
+# a plan >= TUNE_FLOOR_SPEEDUP faster — bit-identical and fully certified —
+# on at least the two models where the misprediction bites hardest.
+
+TUNE_FLOOR_SPEEDUP = 1.1
+TUNE_MODELS = ("bert", "swin")
+MISPREDICTED_BUDGET = 2048
+
+
+def test_tuned_plan_recovery(programs):
+    """Profile-guided tuning recovers >= 1.1x from a mispredicted budget."""
+    from repro.runtime.tuner import tune
+
+    rows = [
+        f"{'model':14s} {'static ms':>10s} {'tuned ms':>9s} "
+        f"{'speedup':>8s} {'adopted':>8s} {'certified':>10s}"
+    ]
+    records = []
+    for name in TUNE_MODELS:
+        program = programs[name]
+        report = tune(
+            program, name=name, store=False, runs=2, reps=9,
+            tile_budget=MISPREDICTED_BUDGET,
+        )
+        records.append(report.to_json())
+        rows.append(
+            f"{name:14s} {report.static_seconds * 1e3:10.3f} "
+            f"{report.tuned_seconds * 1e3:9.3f} {report.speedup:8.2f} "
+            f"{str(report.adopted):>8s} {str(report.certified):>10s}"
+        )
+        assert report.bit_identical, name
+        assert report.certified, name
+
+    rows.append("")
+    rows.append(
+        f"floor: tuned plan >= {TUNE_FLOOR_SPEEDUP:.1f}x vs static plan "
+        f"at a {MISPREDICTED_BUDGET}-byte tile budget on "
+        f"{', '.join(TUNE_MODELS)}"
+    )
+    save_table("serve_tuned_plan", "\n".join(rows))
+    save_json("serve_tuned_plan", {
+        "benchmark": "serve_tuned_plan",
+        "floor_speedup": TUNE_FLOOR_SPEEDUP,
+        "tile_budget": MISPREDICTED_BUDGET,
+        "results": records,
+    })
+
+    for record in records:
+        assert record["adopted"], record["model"]
+        assert record["speedup"] >= TUNE_FLOOR_SPEEDUP, (
+            f"{record['model']}: tuned plan only {record['speedup']:.2f}x "
+            f"faster than static (floor {TUNE_FLOOR_SPEEDUP}x)"
         )
 
 

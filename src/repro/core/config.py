@@ -43,6 +43,11 @@ class SouffleOptions:
     # aborts the compile like a refutation.
     certify: bool = False
     certify_unknown: str = "warn"
+    # Record per-step execution timings into the persistent profile store
+    # (runtime.profile_store), keyed by program hash and shape bucket.
+    # Off by default: profiling adds a per-request bookkeeping cost and
+    # most sessions only *consume* profiles (through the cost model).
+    collect_profiles: bool = False
 
     @classmethod
     def from_level(cls, level: int, validate: bool = False,
@@ -51,7 +56,8 @@ class SouffleOptions:
                    graph_executor: bool = False,
                    tile_reductions: bool = True,
                    certify: bool = False,
-                   certify_unknown: str = "warn") -> "SouffleOptions":
+                   certify_unknown: str = "warn",
+                   collect_profiles: bool = False) -> "SouffleOptions":
         """Build the Table-4 ablation configuration V<level>."""
         if not 0 <= level <= 4:
             raise ValueError(f"optimisation level must be 0..4, got {level}")
@@ -67,6 +73,7 @@ class SouffleOptions:
             tile_reductions=tile_reductions,
             certify=certify,
             certify_unknown=certify_unknown,
+            collect_profiles=collect_profiles,
         )
 
     @property

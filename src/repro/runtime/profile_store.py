@@ -1,0 +1,440 @@
+"""Persistent per-step execution profiles: the feedback half of the loop.
+
+Every profiled request measures ground truth — per-step wall seconds the
+profiler previously threw away after one ``profile_report``. This module
+persists those measurements into the compile-cache directory so later
+compiles can plan against them:
+
+* rows are keyed by ``(program structural hash, shape bucket)`` — one JSON
+  document per bucket, mirroring the other cache tiers' layout
+  (``<dir>/profiles/rows/<k0k1>/<key>.json``);
+* inside a bucket, rows join on the durable ``step_key``
+  (:func:`repro.cache.keys.step_content_key`) plus a *variant* label — the
+  step kind, or ``tiled@<block_rows>`` for tiled blocks — so one step's
+  einsum and matmul incarnations (or two block sizes of one chain) keep
+  separate measurements;
+* per-call mean seconds are EMA-merged across runs (fresh measurements
+  dominate, old machines age out);
+* writes are read-merge-write under an ``fcntl`` file lock, so two
+  sessions recording the same bucket concurrently never lose rows;
+* every document carries the same versioned envelope as
+  :class:`repro.cache.store.JsonStore` — corrupted or stale-format files
+  are counted, deleted, and treated as empty, never raised.
+
+Tune verdicts (the A/B harness's adopt/reject decisions) persist next to
+the rows under ``<dir>/verdicts/`` with the same envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.cache.keys import _digest
+from repro.cache.store import CacheStats
+
+try:  # POSIX only; the store degrades to lock-free merges elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+PROFILE_FORMAT = "profile-rows"
+VERDICT_FORMAT = "tune-verdict"
+
+# Bump to invalidate every persisted profile row (schema or semantics of a
+# measurement changed).
+PROFILE_FORMAT_VERSION = 1
+
+# EMA weight of the *incoming* measurement when merging with a persisted
+# row. High enough that a machine change re-converges within a few runs,
+# low enough that one noisy run cannot flip a planning decision.
+EMA_ALPHA = 0.4
+
+
+def tiled_variant(block_rows: int) -> str:
+    """Variant label of a tiled block step at one block size."""
+    return f"tiled@{int(block_rows)}"
+
+
+@dataclass
+class VariantStats:
+    """EMA-merged measurement of one (step_key, variant)."""
+
+    kind: str            # einsum | matmul | map | reduce | const | fused | tiled
+    seconds: float       # EMA of mean wall seconds per call of one step
+    calls: int           # total calls folded into the EMA
+    bytes: int = 0       # static footprint feature (lane-scaled)
+    flops: int = 0       # static arithmetic feature (lane-scaled)
+    block_rows: int = 0  # tiled variants only
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "bytes": self.bytes,
+            "flops": self.flops,
+            "block_rows": self.block_rows,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "VariantStats":
+        return cls(
+            kind=str(payload["kind"]),
+            seconds=float(payload["seconds"]),
+            calls=int(payload["calls"]),
+            bytes=int(payload.get("bytes", 0)),
+            flops=int(payload.get("flops", 0)),
+            block_rows=int(payload.get("block_rows", 0)),
+        )
+
+
+@dataclass
+class ProfileRow:
+    """All measured variants of one durable step identity."""
+
+    step_key: str
+    variants: Dict[str, VariantStats] = field(default_factory=dict)
+
+
+@dataclass
+class ProfileSample:
+    """One flushed measurement: mean seconds per call of one plan step."""
+
+    step_key: str
+    kind: str
+    seconds: float
+    calls: int
+    bytes: int = 0
+    flops: int = 0
+    block_rows: int = 0
+
+    @property
+    def variant(self) -> str:
+        if self.block_rows:
+            return tiled_variant(self.block_rows)
+        return self.kind
+
+
+class ProfileStore:
+    """Bucketed, EMA-merged, crash-safe store of per-step measurements.
+
+    ``directory=None`` keeps rows purely in memory — useful for tests and
+    for one-shot tuning runs that do not want to touch the global cache.
+    """
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = directory
+        self.stats = CacheStats()
+        # In-memory buckets (the only storage when directory is None).
+        self._memory: Dict[str, Dict[str, ProfileRow]] = {}
+
+    # ---- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def bucket_key(program_hash: str, lanes: int) -> str:
+        """Content address of one (program, shape bucket) document."""
+        return _digest({"program": program_hash, "lanes": int(lanes)})
+
+    # ---- rows ---------------------------------------------------------------
+
+    def load(self, program_hash: str, lanes: int = 1) -> Dict[str, ProfileRow]:
+        """All persisted rows for one bucket (empty dict when none)."""
+        key = self.bucket_key(program_hash, lanes)
+        if self.directory is None:
+            rows = self._memory.get(key, {})
+        else:
+            rows = self._read_rows(self._rows_path(key), key)
+        if rows:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+        else:
+            self.stats.misses += 1
+        return rows
+
+    def record(
+        self,
+        program_hash: str,
+        lanes: int,
+        samples: Iterable[ProfileSample],
+    ) -> None:
+        """Merge ``samples`` into the bucket (read-merge-write under a lock).
+
+        Samples for the same (step_key, variant) — structurally identical
+        layers, sibling tiled blocks — pool before the EMA so one flush
+        counts as one observation per variant.
+        """
+        pooled = self._pool(samples)
+        if not pooled:
+            return
+        key = self.bucket_key(program_hash, lanes)
+        if self.directory is None:
+            rows = self._memory.setdefault(key, {})
+            self._merge(rows, pooled)
+            self.stats.stores += 1
+            return
+        path = self._rows_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with self._locked(path):
+                rows = self._read_rows(path, key)
+                self._merge(rows, pooled)
+                self._write_envelope(
+                    path,
+                    PROFILE_FORMAT,
+                    key,
+                    {
+                        "program": program_hash,
+                        "lanes": int(lanes),
+                        "rows": {
+                            sk: {
+                                label: vs.to_json()
+                                for label, vs in row.variants.items()
+                            }
+                            for sk, row in rows.items()
+                        },
+                    },
+                )
+        except OSError:
+            # An unwritable store must never break serving.
+            self.stats.store_errors += 1
+            return
+        self.stats.stores += 1
+
+    # ---- verdicts -----------------------------------------------------------
+
+    def save_verdict(
+        self, program_hash: str, lanes: int, verdict: Dict[str, Any]
+    ) -> Optional[str]:
+        """Persist one tune verdict next to the rows; returns its path."""
+        key = self.bucket_key(program_hash, lanes)
+        if self.directory is None:
+            self._memory[f"verdict:{key}"] = verdict  # type: ignore[assignment]
+            return None
+        path = self._verdict_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            self._write_envelope(path, VERDICT_FORMAT, key, dict(verdict))
+        except OSError:
+            self.stats.store_errors += 1
+            return None
+        return path
+
+    def load_verdict(
+        self, program_hash: str, lanes: int = 1
+    ) -> Optional[Dict[str, Any]]:
+        key = self.bucket_key(program_hash, lanes)
+        if self.directory is None:
+            return self._memory.get(f"verdict:{key}")  # type: ignore[return-value]
+        return self._read_envelope(self._verdict_path(key), VERDICT_FORMAT, key)
+
+    # ---- internals ----------------------------------------------------------
+
+    def _rows_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, "rows", key[:2], f"{key}.json")
+
+    def _verdict_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, "verdicts", key[:2], f"{key}.json")
+
+    @staticmethod
+    def _pool(samples: Iterable[ProfileSample]) -> Dict[str, ProfileSample]:
+        pooled: Dict[str, ProfileSample] = {}
+        counts: Dict[str, int] = {}
+        for s in samples:
+            if s.calls <= 0 or not s.step_key:
+                continue
+            rid = f"{s.step_key}|{s.variant}"
+            have = pooled.get(rid)
+            if have is None:
+                pooled[rid] = ProfileSample(
+                    s.step_key, s.kind, s.seconds, s.calls,
+                    s.bytes, s.flops, s.block_rows,
+                )
+                counts[rid] = 1
+            else:
+                # Mean-of-means across pooled instances; calls accumulate.
+                n = counts[rid]
+                have.seconds = (have.seconds * n + s.seconds) / (n + 1)
+                have.calls += s.calls
+                counts[rid] = n + 1
+        return pooled
+
+    @staticmethod
+    def _merge(
+        rows: Dict[str, ProfileRow], pooled: Dict[str, ProfileSample]
+    ) -> None:
+        for sample in pooled.values():
+            row = rows.get(sample.step_key)
+            if row is None:
+                row = rows[sample.step_key] = ProfileRow(sample.step_key)
+            label = sample.variant
+            have = row.variants.get(label)
+            if have is None:
+                row.variants[label] = VariantStats(
+                    kind=sample.kind,
+                    seconds=sample.seconds,
+                    calls=sample.calls,
+                    bytes=sample.bytes,
+                    flops=sample.flops,
+                    block_rows=sample.block_rows,
+                )
+            else:
+                have.seconds = (
+                    (1.0 - EMA_ALPHA) * have.seconds
+                    + EMA_ALPHA * sample.seconds
+                )
+                have.calls += sample.calls
+                have.bytes = sample.bytes
+                have.flops = sample.flops
+
+    @staticmethod
+    @contextmanager
+    def _locked(path: str):
+        """Advisory exclusive lock guarding one bucket's read-merge-write."""
+        handle = open(f"{path}.lock", "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    def _read_rows(self, path: str, key: str) -> Dict[str, ProfileRow]:
+        payload = self._read_envelope(path, PROFILE_FORMAT, key)
+        if payload is None:
+            return {}
+        rows: Dict[str, ProfileRow] = {}
+        raw = payload.get("rows")
+        if not isinstance(raw, dict):
+            self._recover(path)
+            return {}
+        try:
+            for sk, variants in raw.items():
+                row = ProfileRow(str(sk))
+                for label, vs in variants.items():
+                    row.variants[str(label)] = VariantStats.from_json(vs)
+                rows[str(sk)] = row
+        except (KeyError, TypeError, ValueError):
+            self._recover(path)
+            return {}
+        return rows
+
+    def _read_envelope(
+        self, path: str, format_name: str, key: str
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._recover(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != format_name
+            or envelope.get("version") != PROFILE_FORMAT_VERSION
+            or envelope.get("key") != key
+            or not isinstance(envelope.get("payload"), dict)
+        ):
+            self._recover(path)
+            return None
+        return envelope["payload"]
+
+    def _write_envelope(
+        self, path: str, format_name: str, key: str, payload: Dict[str, Any]
+    ) -> None:
+        envelope = {
+            "format": format_name,
+            "version": PROFILE_FORMAT_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(envelope, handle)
+        os.replace(tmp, path)
+
+    def _recover(self, path: str) -> None:
+        self.stats.load_errors += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        where = self.directory or "memory"
+        return f"<ProfileStore {where}>"
+
+
+def default_profile_dir() -> Optional[str]:
+    """``$REPRO_CACHE_DIR/profiles``, if the cache directory is set."""
+    from repro.cache.compile_cache import default_cache_dir
+
+    directory = default_cache_dir()
+    return os.path.join(directory, "profiles") if directory else None
+
+
+def resolve_profile_store(
+    store: Union[None, bool, str, os.PathLike, ProfileStore] = None,
+) -> ProfileStore:
+    """Normalise a profile-store argument (mirrors resolve_compile_cache).
+
+    ``None`` uses ``$REPRO_CACHE_DIR/profiles`` when the cache directory is
+    set and an in-memory store otherwise; ``False`` forces in-memory; a
+    path string roots the store there; a :class:`ProfileStore` is used as
+    given.
+    """
+    if isinstance(store, ProfileStore):
+        return store
+    if store is None:
+        return ProfileStore(default_profile_dir())
+    if store is False:
+        return ProfileStore(None)
+    if store is True:
+        return ProfileStore(default_profile_dir())
+    return ProfileStore(os.path.expanduser(os.fspath(store)))
+
+
+def samples_from_steps(
+    steps: List[object],
+    seconds: List[float],
+    calls: int,
+    lanes: int = 1,
+) -> List[ProfileSample]:
+    """Build flushable samples from a plan's steps + accumulated seconds.
+
+    ``seconds[i]`` is the total wall time accumulated by step ``i`` over
+    ``calls`` profiled requests; features are scaled by the bucket's lane
+    count so the fitted model sees the bytes the step actually moved.
+    """
+    out: List[ProfileSample] = []
+    if calls <= 0:
+        return out
+    for step, total in zip(steps, seconds):
+        step_key = getattr(step, "step_key", "")
+        if not step_key or total <= 0.0:
+            continue
+        bytes_, flops = getattr(step, "cost_features", (0, 0))
+        block_rows = int(getattr(step, "block_rows", 0))
+        out.append(
+            ProfileSample(
+                step_key=step_key,
+                kind=str(getattr(step, "kind", "")),
+                seconds=total / calls,
+                calls=calls,
+                bytes=int(bytes_) * max(1, lanes),
+                flops=int(flops) * max(1, lanes),
+                block_rows=block_rows,
+            )
+        )
+    return out

@@ -137,6 +137,10 @@ class StepTiming:
     # Task-graph executor only: time between a step becoming ready and a
     # worker starting it, accumulated across profiled requests.
     queue_seconds: float = 0.0
+    # Durable content identity (cache.keys.step_content_key): joins this
+    # row with persisted profile-store rows across recompiles. Display
+    # names are not durable — fusion regrouping and re-tiling rename steps.
+    step_key: str = ""
 
     @property
     def mean_us(self) -> float:

@@ -124,6 +124,12 @@ class WorkerConfig:
     tile: bool = True
     batch_buckets: Tuple[int, ...] = DEFAULT_BATCH_BUCKETS
     max_pool: int = DEFAULT_MAX_POOL
+    # Profile collection: when on, every worker measures per-step wall
+    # time and flushes it to the profile store rooted at profile_dir
+    # (None honours $REPRO_CACHE_DIR) — the store's file lock makes the
+    # concurrent worker flushes merge instead of clobber.
+    collect_profiles: bool = False
+    profile_dir: Optional[str] = None
     # Fault-injection hook for the hang tests: while the flag file exists,
     # every batch sleeps this long before executing (long enough for the
     # watchdog to declare the worker hung and kill it).
@@ -197,6 +203,8 @@ def _worker_main(
             plan_state,
             name=f"{program.name}[{index}]",
             max_pool=config.max_pool,
+            collect_profiles=config.collect_profiles,
+            profile_store=config.profile_dir,
         )
         # Zero-copy accounting: a weight whose bound value is not the shm
         # view itself was copied into this replica (should never happen —
@@ -247,6 +255,8 @@ def _worker_main(
             elif kind == "stats":
                 conn.send(("stats", index, _session_stats(session)))
     finally:
+        if config.collect_profiles:
+            session.flush_profiles()
         store.close()
 
 
@@ -315,6 +325,8 @@ class ShardedServer:
         request_timeout_s: Optional[float] = 30.0,
         max_outstanding_batches: int = 2,
         cache_dir: Optional[str] = None,
+        collect_profiles: bool = False,
+        profile_dir: Optional[str] = None,
         fault_sleep_s: float = 0.0,
         fault_flag_path: Optional[str] = None,
     ) -> None:
@@ -344,6 +356,8 @@ class ShardedServer:
             tile=tile,
             batch_buckets=tuple(sorted(set(int(b) for b in batch_buckets))),
             max_pool=max_pool,
+            collect_profiles=collect_profiles,
+            profile_dir=profile_dir,
             fault_sleep_s=fault_sleep_s,
             fault_flag_path=fault_flag_path,
         )

@@ -1553,14 +1553,31 @@ def _certify_fusion(program, opt) -> EquivalenceCertificate:
 
 
 def _fusion_leak(program, opt, group):
-    """An (interior member, outside consumer) pair, if any leaks."""
+    """An (interior member, outside consumer) pair, if any leaks.
+
+    A consumer outside *this* group is still sound when its own group also
+    carries the member as an interior — the measured duplication pass
+    recomputes a cheap map inside every consumer's group, so no group ever
+    reads the deleted buffer.
+    """
     member_ids = {id(m.tensor) for m in group.members}
     for member in group.members[:-1]:
         if program.is_output(member.tensor):
             return member, member  # outputs must never be interiors
         for consumer in program.consumers(member.tensor):
-            if id(consumer.tensor) not in member_ids:
-                return member, consumer
+            if id(consumer.tensor) in member_ids:
+                continue
+            homes = [
+                g
+                for g in opt.groups
+                if any(m.tensor is consumer.tensor for m in g.members)
+            ]
+            if homes and all(
+                any(m.tensor is member.tensor for m in h.members[:-1])
+                for h in homes
+            ):
+                continue  # every home recomputes the member internally
+            return member, consumer
     return None
 
 
